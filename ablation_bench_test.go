@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Ablation benchmarks quantify the design choices DESIGN.md calls out,
+// beyond the paper's own figures.
+
+// BenchmarkAblationCredits compares a correctly credited channel
+// (total credits <= ringbuffer slots: nothing lost) with an
+// overcommitted one (the DTU drops messages, §4.4.3).
+func BenchmarkAblationCredits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		honest, err := bench.RunCreditAblation(8, 16, 2, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		over, err := bench.RunCreditAblation(8, 4, 4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(honest.Dropped), "honest-drops")
+		b.ReportMetric(float64(over.Dropped), "overcommit-drops")
+	}
+}
+
+// BenchmarkAblationEPMux measures endpoint-multiplexing pressure:
+// touching more gates than the DTU has endpoints forces re-activation
+// system calls.
+func BenchmarkAblationEPMux(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fits, err := bench.RunEPMuxAblation(4, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thrash, err := bench.RunEPMuxAblation(12, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(fits.Cycles), "fits-cycles")
+		b.ReportMetric(float64(thrash.Cycles), "thrash-cycles")
+		b.ReportMetric(float64(thrash.Activates), "thrash-activations")
+	}
+}
+
+// BenchmarkAblationExtentBatch compares single-block appends with the
+// default 256-block batching when writing a file.
+func BenchmarkAblationExtentBatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		single, err := bench.RunExtentBatchAblation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batched, err := bench.RunExtentBatchAblation(256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(single.WriteCycles), "batch1-cycles")
+		b.ReportMetric(float64(batched.WriteCycles), "batch256-cycles")
+		b.ReportMetric(float64(single.WriteCycles)/float64(batched.WriteCycles), "batch-penalty")
+	}
+}
+
+// BenchmarkAblationContention re-runs 8 tar instances with real
+// NoC/DRAM contention vs. the perfectly-scaling variant of Figure 6.
+func BenchmarkAblationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunContentionAblation(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Unlimited), "perfect-cycles")
+		b.ReportMetric(float64(r.Contended), "contended-cycles")
+		b.ReportMetric(float64(r.Contended)/float64(r.Unlimited), "contention-penalty")
+	}
+}
+
+// BenchmarkAblationMmapCopy reproduces why the paper excluded the mmap
+// copy numbers (§5.4): cache thrashing between kernel fault handling
+// and the application's memcpy.
+func BenchmarkAblationMmapCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rw, mm := bench.RunMmapComparison(512 << 10)
+		b.ReportMetric(float64(rw), "readwrite-cycles")
+		b.ReportMetric(float64(mm), "mmap-cycles")
+		b.ReportMetric(float64(mm)/float64(rw), "mmap-penalty")
+	}
+}
+
+// BenchmarkAblationTopology compares 8 contended tar instances on the
+// 2D mesh against a torus with wrap-around links.
+func BenchmarkAblationTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunTopologyAblation(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Mesh), "mesh-cycles")
+		b.ReportMetric(float64(r.Torus), "torus-cycles")
+		b.ReportMetric(float64(r.Mesh)/float64(r.Torus), "torus-gain")
+	}
+}

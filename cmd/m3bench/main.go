@@ -1,0 +1,54 @@
+// Command m3bench regenerates the paper's evaluation: every table and
+// figure from §5. Run it with -e all (default) or a comma-separated
+// subset of fig3, sec52, fig4, fig5, fig6, fig7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util")
+	csv := flag.String("csv", "", "directory to additionally write CSV tables into")
+	flag.Parse()
+	csvDir = *csv
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util"} {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	runners := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig3", runFig3},
+		{"sec52", runSec52},
+		{"fig4", runFig4},
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"fig7", runFig7},
+		{"util", runUtil},
+	}
+	for _, r := range runners {
+		if !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: %s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s took %.1fs wall clock]\n\n", r.name, time.Since(start).Seconds())
+	}
+}

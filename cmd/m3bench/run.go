@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// csvExporter is implemented by every experiment result.
+type csvExporter interface {
+	CSV() []*bench.CSVTable
+}
+
+// csvDir is set from the -csv flag.
+var csvDir string
+
+func writeCSV(dir string, r csvExporter) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range r.CSV() {
+		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		if _, err := t.WriteTo(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", filepath.Join(dir, t.Name+".csv"))
+	}
+	return nil
+}
+
+// runUtil reports the §3.4 utilization trade-off for every workload.
+func runUtil() error {
+	fmt.Println("System utilization on M3 (§3.4: traded for heterogeneity support)")
+	for _, b := range workload.All() {
+		r, err := bench.RunUtilization(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", r)
+	}
+	return nil
+}
+
+func runFig3() error {
+	r, err := bench.Fig3()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
+func runSec52() error {
+	r, err := bench.Sec52()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
+func runFig4() error {
+	r, err := bench.Fig4()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
+func runFig5() error {
+	r, err := bench.Fig5()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
+func runFig6() error {
+	r, err := bench.Fig6()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
+func runFig7() error {
+	r, err := bench.Fig7()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}

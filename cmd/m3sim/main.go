@@ -1,0 +1,129 @@
+// Command m3sim boots an M3 system, runs a named workload on it, and
+// reports platform statistics: cycles, per-DTU traffic, kernel load,
+// and NoC totals. It is the exploration tool next to m3bench's fixed
+// experiments.
+//
+// Usage:
+//
+//	m3sim -w tar -pes 4 -instances 2 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+	"text/tabwriter"
+)
+
+func main() {
+	name := flag.String("w", "tar", "workload: cat+tr, tar, untar, find, sqlite")
+	pes := flag.Int("pes", 0, "extra application PEs beyond what the workload needs")
+	instances := flag.Int("n", 1, "parallel instances (one kernel, one m3fs)")
+	verbose := flag.Bool("v", false, "per-PE DTU statistics")
+	traceN := flag.Int("trace", 0, "print the first N trace events (DTU sends/receives, syscalls)")
+	flag.Parse()
+
+	b, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *instances > 1 {
+		runInstances(b, *instances)
+		return
+	}
+
+	eng := sim.NewEngine()
+	if *traceN > 0 {
+		remaining := *traceN
+		eng.SetTracer(func(at sim.Time, source, event string) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			fmt.Printf("[%10d] %-8s %s\n", at, source, event)
+		})
+	}
+	n := 2 + b.PEs + *pes
+	plat := tile.NewPlatform(eng, tile.Homogeneous(n))
+	kern := core.Boot(plat, 0)
+	if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
+		log.Fatal(err)
+	}
+	var setup, run sim.Time
+	_, err = kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		os, err := workload.NewM3OS(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s0 := ctx.Now()
+		if err := b.Setup(os); err != nil {
+			log.Fatal(err)
+		}
+		s1 := ctx.Now()
+		if err := b.Run(os); err != nil {
+			log.Fatal(err)
+		}
+		setup, run = s1-s0, ctx.Now()-s1
+		env.Exit(0)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	end := eng.Run()
+
+	fmt.Printf("workload %s on %d PEs + memory tile (mesh %dx%d)\n",
+		b.Name, n, plat.Net.Config().Width, plat.Net.Config().Height)
+	fmt.Printf("  setup: %12d cycles\n", setup)
+	fmt.Printf("  run:   %12d cycles\n", run)
+	fmt.Printf("  total: %12d cycles simulated, %d events\n", end, eng.ExecutedEvents())
+	fmt.Printf("  NoC:   %d packets, %d bytes\n", plat.Net.PacketsSent, plat.Net.BytesSent)
+	fmt.Printf("  kernel CPU utilization: %.1f%%, syscalls:", kern.CPU().Utilization()*100)
+	names := make([]string, 0, len(kern.Stats.Syscalls))
+	counts := make(map[string]uint64, len(kern.Stats.Syscalls))
+	for op, n := range kern.Stats.Syscalls {
+		names = append(names, op.String())
+		counts[op.String()] = n
+	}
+	sort.Strings(names)
+	for _, op := range names {
+		fmt.Printf(" %s=%d", op, counts[op])
+	}
+	fmt.Println()
+	if *verbose {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  PE\ttype\tmsgs-sent\tmsgs-recv\treplies\tmem-reads\tmem-writes\tbytes-read\tbytes-written\tbusy")
+		for _, pe := range plat.PEs {
+			st := pe.DTU.Stats
+			busy := 100.0
+			if end > 0 {
+				busy = 100 * (1 - float64(pe.DTU.IdleCyclesAt(end))/float64(end))
+			}
+			fmt.Fprintf(w, "  %d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f%%\n",
+				pe.ID, pe.Type, st.MsgsSent, st.MsgsReceived, st.Replies,
+				st.MemReads, st.MemWrites, st.BytesRead, st.BytesWritten, busy)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func runInstances(b workload.Benchmark, n int) {
+	avg, err := bench.RunM3Instances(b, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s, %d instances, single kernel + single m3fs\n", b.Name, n)
+	fmt.Printf("  mean run time per instance: %d cycles\n", avg)
+}

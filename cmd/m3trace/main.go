@@ -1,0 +1,194 @@
+// Command m3trace records and replays workload traces, the paper's
+// benchmark methodology (§5.6): record a benchmark's syscall sequence
+// on one OS model, store it, and replay it on the other.
+//
+// Usage:
+//
+//	m3trace record -w tar -os linux -o tar.trace
+//	m3trace replay -i tar.trace -os m3
+//	m3trace show   -i tar.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/linuxos"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: m3trace record|replay|show [flags]")
+	os.Exit(2)
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("w", "tar", "workload to record")
+	osName := fs.String("os", "linux", "system to record on: linux or m3")
+	out := fs.String("o", "", "output trace file (default <workload>.trace)")
+	_ = fs.Parse(args)
+	b, err := workload.ByName(*wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr *trace.Trace
+	cycles := runOn(*osName, b, func(os workload.OS) error {
+		rec := trace.NewRecorder(os)
+		if err := b.Run(rec); err != nil {
+			return err
+		}
+		tr = rec.T
+		return nil
+	})
+	path := *out
+	if path == "" {
+		path = *wl + ".trace"
+	}
+	if err := os.WriteFile(path, tr.Marshal(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d operations (%d simulated cycles) to %s\n", tr.Len(), cycles, path)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	osName := fs.String("os", "m3", "system to replay on: linux or m3")
+	wl := fs.String("w", "tar", "workload whose Setup prepares the filesystem")
+	_ = fs.Parse(args)
+	if *in == "" {
+		log.Fatal("m3trace: -i required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := workload.ByName(*wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles := runOn(*osName, b, func(os workload.OS) error {
+		return trace.Replay(os, tr)
+	})
+	fmt.Printf("replayed %d operations on %s in %d simulated cycles\n", tr.Len(), *osName, cycles)
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("i", "", "trace file")
+	limit := fs.Int("n", 30, "records to print (0 = all)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		log.Fatal("m3trace: -i required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d records\n", tr.Len())
+	for i, r := range tr.Records {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... %d more\n", tr.Len()-i)
+			break
+		}
+		switch r.Kind {
+		case trace.KCompute:
+			fmt.Printf("%5d  compute %d cycles\n", i, r.Cycles)
+		case trace.KRead, trace.KWrite:
+			fmt.Printf("%5d  %-8s fd=%d size=%d\n", i, r.Kind, r.FD, r.Size)
+		case trace.KCopyRange:
+			fmt.Printf("%5d  copyrange fd=%d<-fd=%d size=%d\n", i, r.FD, r.SrcFD, r.Size)
+		case trace.KSeek:
+			fmt.Printf("%5d  seek fd=%d off=%d whence=%d\n", i, r.FD, r.Off, r.Whence)
+		case trace.KClose:
+			fmt.Printf("%5d  close fd=%d\n", i, r.FD)
+		default:
+			fmt.Printf("%5d  %-8s %s\n", i, r.Kind, r.Path)
+		}
+	}
+}
+
+// runOn executes setup + fn on the named OS model and returns the
+// simulated cycles fn took.
+func runOn(osName string, b workload.Benchmark, fn func(workload.OS) error) sim.Time {
+	var took sim.Time
+	switch osName {
+	case "linux":
+		eng := sim.NewEngine()
+		sys := linuxos.New(eng, linuxos.ProfileXtensa, false)
+		sys.Spawn("app", func(pr *linuxos.Proc) {
+			os := workload.NewLxOS(sys, pr)
+			if err := b.Setup(os); err != nil {
+				log.Fatal(err)
+			}
+			start := pr.P().Now()
+			if err := fn(os); err != nil {
+				log.Fatal(err)
+			}
+			took = pr.P().Now() - start
+		})
+		eng.Run()
+	case "m3":
+		eng := sim.NewEngine()
+		plat := tile.NewPlatform(eng, tile.Homogeneous(2+b.PEs))
+		kern := core.Boot(plat, 0)
+		if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
+			env := m3.NewEnv(ctx, kern)
+			os, err := workload.NewM3OS(env)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := b.Setup(os); err != nil {
+				log.Fatal(err)
+			}
+			start := ctx.Now()
+			if err := fn(os); err != nil {
+				log.Fatal(err)
+			}
+			took = ctx.Now() - start
+			env.Exit(0)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		eng.Run()
+	default:
+		log.Fatalf("m3trace: unknown os %q (want linux or m3)", osName)
+	}
+	return took
+}

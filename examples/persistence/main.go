@@ -1,0 +1,90 @@
+// Persistence: m3fs's organization is "suitable for persistent storage
+// as well" (§4.5.8). This example writes files on one system boot,
+// syncs the filesystem to an image (the stand-in for a storage
+// device), boots a completely fresh system from that image, and reads
+// the files back. Check any image with cmd/m3fsck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+func main() {
+	image := firstBoot()
+	fmt.Printf("synced image: %d bytes\n\n", len(image))
+	secondBoot(image)
+}
+
+// firstBoot writes a small tree and syncs it.
+func firstBoot() []byte {
+	eng := sim.NewEngine()
+	plat := tile.NewPlatform(eng, tile.Homogeneous(3))
+	kern := core.Boot(plat, 0)
+	var svc *m3fs.Service
+	must(kern.StartInit("m3fs", tile.CoreXtensa,
+		m3fs.Program(kern, m3fs.Config{}, func(s *m3fs.Service) { svc = s })))
+	must(kern.StartInit("writer", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		client, err := m3fs.MountAt(env, "/", "")
+		check(err)
+		check(env.VFS.Mkdir("/notes"))
+		check(env.VFS.WriteFile("/notes/first.txt", []byte("written before the reboot")))
+		check(env.VFS.WriteFile("/motd", []byte("m3fs persists")))
+		check(client.Sync())
+		fmt.Printf("first boot: wrote /notes/first.txt and /motd, synced at cycle %d\n", ctx.Now())
+		env.Exit(0)
+	}))
+	eng.Run()
+	if svc == nil || svc.SyncedImage == nil {
+		log.Fatal("no image was synced")
+	}
+	return svc.SyncedImage
+}
+
+// secondBoot mounts the image on a brand-new platform.
+func secondBoot(image []byte) {
+	eng := sim.NewEngine()
+	plat := tile.NewPlatform(eng, tile.Homogeneous(3))
+	kern := core.Boot(plat, 0)
+	must(kern.StartInit("m3fs", tile.CoreXtensa,
+		m3fs.Program(kern, m3fs.Config{Image: image}, nil)))
+	must(kern.StartInit("reader", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		_, err := m3fs.MountAt(env, "/", "")
+		check(err)
+		note, err := env.VFS.ReadFile("/notes/first.txt")
+		check(err)
+		motd, err := env.VFS.ReadFile("/motd")
+		check(err)
+		fmt.Printf("second boot: /notes/first.txt = %q\n", note)
+		fmt.Printf("second boot: /motd = %q\n", motd)
+		ents, err := env.VFS.ReadDir("/")
+		check(err)
+		fmt.Printf("second boot: root entries:")
+		for _, e := range ents {
+			fmt.Printf(" %s", e.Name)
+		}
+		fmt.Println()
+		env.Exit(0)
+	}))
+	eng.Run()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(_ *core.VPE, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

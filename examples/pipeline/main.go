@@ -1,0 +1,70 @@
+// Pipeline: the paper's accelerator scenario (§5.8). A parent
+// generates data and writes it into a pipe; a child reads the pipe,
+// performs an FFT, and writes the result into a file. The parent code
+// is identical for the software and the accelerator variant — only the
+// requested PE type differs, which is the point: M3's abstractions
+// make accelerators ordinary first-class citizens.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+)
+
+func main() {
+	soft := run(false)
+	fast := run(true)
+	fmt.Printf("\nsoftware FFT:    %8d cycles\n", soft)
+	fmt.Printf("FFT accelerator: %8d cycles (%.1fx speedup)\n",
+		fast, float64(soft)/float64(fast))
+}
+
+func run(useAccel bool) sim.Time {
+	eng := sim.NewEngine()
+	// Kernel, m3fs, parent, one spare Xtensa, and one FFT core.
+	plat := tile.NewPlatform(eng, tile.Config{PEs: []tile.CoreType{
+		tile.CoreXtensa, tile.CoreXtensa, tile.CoreXtensa, tile.CoreXtensa, tile.CoreFFT,
+	}})
+	kern := core.Boot(plat, 0)
+	if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
+		log.Fatal(err)
+	}
+
+	variant := "software"
+	if useAccel {
+		variant = "accelerator"
+	}
+	var took sim.Time
+	_, err := kern.StartInit("parent", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		os, err := workload.NewM3OS(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain := accel.FFTChain(useAccel)
+		start := ctx.Now()
+		if err := chain.Run(os); err != nil {
+			log.Fatal(err)
+		}
+		took = ctx.Now() - start
+		st, err := os.Stat("/fft.out")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s: %d bytes transformed in %d cycles\n", variant, st.Size, took)
+		env.Exit(0)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
+	return took
+}

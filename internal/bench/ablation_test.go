@@ -1,0 +1,94 @@
+package bench
+
+import "testing"
+
+func TestCreditAblation(t *testing.T) {
+	honest, err := RunCreditAblation(8, 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 senders x 2 credits = 16 <= 16 slots: nothing may be dropped.
+	if honest.Dropped != 0 {
+		t.Fatalf("honest config dropped %d messages", honest.Dropped)
+	}
+	if honest.Delivered != 16 {
+		// Each sender has 2 credits and no reply path: exactly 2 of
+		// its 4 sends are accepted.
+		t.Fatalf("honest delivered = %d, want 16", honest.Delivered)
+	}
+	over, err := RunCreditAblation(8, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 senders x 4 credits = 32 into 4 slots with a slow receiver:
+	// messages must be dropped.
+	if over.Dropped == 0 {
+		t.Fatal("overcommitted config dropped nothing")
+	}
+	if over.Delivered+over.Dropped != 32 {
+		t.Fatalf("delivered(%d)+dropped(%d) != 32", over.Delivered, over.Dropped)
+	}
+}
+
+func TestEPMuxAblation(t *testing.T) {
+	fits, err := RunEPMuxAblation(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrash, err := RunEPMuxAblation(12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 gates fit into the 5 free endpoints: one activation each.
+	if fits.Activates != 0 {
+		t.Fatalf("fits variant re-activated %d times during the loop", fits.Activates)
+	}
+	// 12 gates over 5 endpoints thrash: every access re-activates.
+	if thrash.Activates == 0 {
+		t.Fatal("thrash variant never re-activated")
+	}
+	perAccess := float64(thrash.Cycles-fits.Cycles*3) / float64(12*8)
+	if thrash.Cycles <= fits.Cycles*2 {
+		t.Fatalf("thrash (%d) should cost much more than fits (%d); per-access delta %f",
+			thrash.Cycles, fits.Cycles, perAccess)
+	}
+}
+
+func TestExtentBatchAblation(t *testing.T) {
+	single, err := RunExtentBatchAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunExtentBatchAblation(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Extents != 512 || batched.Extents != 2 {
+		t.Fatalf("extents = %d / %d", single.Extents, batched.Extents)
+	}
+	if penalty := float64(single.WriteCycles) / float64(batched.WriteCycles); penalty < 2 {
+		t.Fatalf("single-block appends penalty = %.2fx, want > 2x", penalty)
+	}
+}
+
+func TestContentionAblation(t *testing.T) {
+	r, err := RunContentionAblation(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contended <= r.Unlimited {
+		t.Fatalf("contended (%d) must be slower than perfect scaling (%d)", r.Contended, r.Unlimited)
+	}
+}
+
+func TestTopologyAblation(t *testing.T) {
+	r, err := RunTopologyAblation(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torus shortens average routes; under contention it must not
+	// be slower than the mesh.
+	if r.Torus > r.Mesh {
+		t.Fatalf("torus (%d) slower than mesh (%d)", r.Torus, r.Mesh)
+	}
+}

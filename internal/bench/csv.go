@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV export: each experiment result renders as header + rows, so
+// plotting scripts can regenerate the paper's figures from files.
+
+// CSVTable is a rendered experiment result.
+type CSVTable struct {
+	Name string
+	Rows [][]string
+}
+
+// WriteTo writes the table as CSV.
+func (t *CSVTable) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				row[i] = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+		}
+		m, err := fmt.Fprintln(w, strings.Join(row, ","))
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// CSV renders Figure 3.
+func (r *Fig3Result) CSV() []*CSVTable {
+	sys := &CSVTable{Name: "fig3_syscall", Rows: [][]string{
+		{"system", "total_cycles", "xfer_cycles", "other_cycles"},
+		{"m3", cyc(r.SyscallM3), cyc(r.SyscallM3Xfer), cyc(r.SyscallM3 - r.SyscallM3Xfer)},
+		{"lx", cyc(r.SyscallLx), "0", cyc(r.SyscallLx)},
+	}}
+	ops := &CSVTable{Name: "fig3_fileops", Rows: [][]string{
+		{"op", "system", "total_cycles", "xfer_cycles", "os_cycles"},
+	}}
+	for _, op := range []string{"read", "write", "pipe"} {
+		for _, s := range []string{"M3", "Lx-$", "Lx"} {
+			b := r.FileOps[op][s]
+			ops.Rows = append(ops.Rows, []string{op, s, cyc(b.Total), cyc(b.Xfer), cyc(b.OS + b.App)})
+		}
+	}
+	return []*CSVTable{sys, ops}
+}
+
+// CSV renders the §5.2 table.
+func (r *Sec52Result) CSV() []*CSVTable {
+	t := &CSVTable{Name: "sec52", Rows: [][]string{{"metric", "xtensa_cycles", "arm_cycles"}}}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Metric, cyc(row.Xtensa), cyc(row.ARM)})
+	}
+	return []*CSVTable{t}
+}
+
+// CSV renders Figure 4.
+func (r *Fig4Result) CSV() []*CSVTable {
+	t := &CSVTable{Name: "fig4", Rows: [][]string{{"blocks_per_extent", "read_cycles", "write_cycles"}}}
+	for i, bpe := range r.BlocksPerExtent {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(bpe), cyc(r.ReadCycles[i]), cyc(r.WriteCycles[i]),
+		})
+	}
+	return []*CSVTable{t}
+}
+
+// CSV renders Figure 5.
+func (r *Fig5Result) CSV() []*CSVTable {
+	t := &CSVTable{Name: "fig5", Rows: [][]string{
+		{"benchmark", "system", "total_cycles", "app_cycles", "xfer_cycles", "os_cycles"},
+	}}
+	for _, name := range []string{"cat+tr", "tar", "untar", "find", "sqlite"} {
+		for _, s := range []string{"M3", "Lx-$", "Lx"} {
+			b := r.Apps[name][s]
+			t.Rows = append(t.Rows, []string{
+				name, s, cyc(b.Total), cyc(b.App), cyc(b.Xfer), cyc(b.OS),
+			})
+		}
+	}
+	return []*CSVTable{t}
+}
+
+// CSV renders Figure 6.
+func (r *Fig6Result) CSV() []*CSVTable {
+	header := []string{"benchmark"}
+	for _, n := range r.Instances {
+		header = append(header, fmt.Sprintf("n%d", n))
+	}
+	t := &CSVTable{Name: "fig6", Rows: [][]string{header}}
+	for _, name := range []string{"cat+tr", "tar", "untar", "find", "sqlite"} {
+		row := []string{name}
+		for _, v := range r.Normalized[name] {
+			if v == 0 {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*CSVTable{t}
+}
+
+// CSV renders Figure 7.
+func (r *Fig7Result) CSV() []*CSVTable {
+	t := &CSVTable{Name: "fig7", Rows: [][]string{
+		{"system", "total_cycles", "app_cycles", "xfer_cycles", "os_cycles"},
+	}}
+	for _, e := range []struct {
+		name string
+		b    Breakdown
+	}{{"linux", r.Linux}, {"m3_soft", r.M3Soft}, {"m3_accel", r.M3Accel}} {
+		t.Rows = append(t.Rows, []string{
+			e.name, cyc(e.b.Total), cyc(e.b.App), cyc(e.b.Xfer), cyc(e.b.OS),
+		})
+	}
+	return []*CSVTable{t}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/linuxos"
+	"repro/internal/workload"
+)
+
+// The whole stack — engine, NoC, DTUs, kernel, services, workloads —
+// must be deterministic: identical configurations produce identical
+// cycle counts. This is what makes the reproduction's numbers
+// meaningful.
+
+func TestM3RunDeterministic(t *testing.T) {
+	b, err := workload.ByName("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunM3(b, M3Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := RunM3(b, M3Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("run %d differs: %+v vs %+v", i+2, again, first)
+		}
+	}
+}
+
+func TestLxRunDeterministic(t *testing.T) {
+	b, err := workload.ByName("untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunLx(b, linuxos.ProfileXtensa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunLx(b, linuxos.ProfileXtensa, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("runs differ: %+v vs %+v", again, first)
+	}
+}
+
+func TestInstancesDeterministic(t *testing.T) {
+	b, err := workload.ByName("find")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunM3Instances(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunM3Instances(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("instance runs differ: %d vs %d", first, again)
+	}
+}
+
+func TestSyscallDeterministic(t *testing.T) {
+	t1, x1 := NullSyscallM3()
+	t2, x2 := NullSyscallM3()
+	if t1 != t2 || x1 != x2 {
+		t.Fatalf("syscall runs differ: (%d,%d) vs (%d,%d)", t1, x1, t2, x2)
+	}
+}

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/linuxos"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig3Result reproduces Figure 3: null system calls (left) and 2 MiB
+// read/write/pipe (right), each on M3, Lx-$ (warm), and Lx (cold).
+type Fig3Result struct {
+	SyscallM3     sim.Time
+	SyscallM3Xfer sim.Time
+	SyscallLx     sim.Time
+
+	FileOps map[string]map[string]Breakdown // op -> system -> breakdown
+}
+
+// Fig3 runs experiment E1+E2.
+func Fig3() (*Fig3Result, error) {
+	r := &Fig3Result{FileOps: map[string]map[string]Breakdown{}}
+	r.SyscallM3, r.SyscallM3Xfer = NullSyscallM3()
+	r.SyscallLx = NullSyscallLx(linuxos.ProfileXtensa)
+	for _, b := range []workload.Benchmark{ReadBench(), WriteBench(), PipeBench()} {
+		row := map[string]Breakdown{}
+		var err error
+		if row["M3"], err = RunM3(b, M3Options{}); err != nil {
+			return nil, fmt.Errorf("fig3 %s on M3: %w", b.Name, err)
+		}
+		if row["Lx-$"], err = RunLx(b, linuxos.ProfileXtensa, false); err != nil {
+			return nil, fmt.Errorf("fig3 %s on Lx-$: %w", b.Name, err)
+		}
+		if row["Lx"], err = RunLx(b, linuxos.ProfileXtensa, true); err != nil {
+			return nil, fmt.Errorf("fig3 %s on Lx: %w", b.Name, err)
+		}
+		r.FileOps[b.Name] = row
+	}
+	return r, nil
+}
+
+// Print writes the figure's rows.
+func (r *Fig3Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3 (left): null system call\n")
+	tw := newTable(w, "system", "total (cycles)", "xfers", "other")
+	tw.row("M3", cyc(r.SyscallM3), cyc(r.SyscallM3Xfer), cyc(r.SyscallM3-r.SyscallM3Xfer))
+	tw.row("Lx", cyc(r.SyscallLx), "0", cyc(r.SyscallLx))
+	tw.flush()
+	fmt.Fprintf(w, "\nFigure 3 (right): 2 MiB file operations, 4 KiB buffers (M cycles)\n")
+	tw = newTable(w, "op", "system", "total", "xfers", "other(OS)")
+	for _, op := range []string{"read", "write", "pipe"} {
+		for _, sys := range []string{"M3", "Lx-$", "Lx"} {
+			b := r.FileOps[op][sys]
+			tw.row(op, sys, mcyc(b.Total), mcyc(b.Xfer), mcyc(b.OS+b.App))
+		}
+	}
+	tw.flush()
+}
+
+// Sec52Result reproduces the §5.2 Xtensa/ARM cross-check.
+type Sec52Result struct {
+	Rows []Sec52Row
+}
+
+// Sec52Row is one metric on both Linux profiles.
+type Sec52Row struct {
+	Metric      string
+	Xtensa, ARM sim.Time
+}
+
+// Sec52 runs experiment E3: Linux syscall, 2 MiB file creation
+// overhead, and 2 MiB copy overhead on both CPU profiles.
+func Sec52() (*Sec52Result, error) {
+	res := &Sec52Result{}
+	res.Rows = append(res.Rows, Sec52Row{
+		Metric: "null syscall (cycles)",
+		Xtensa: NullSyscallLx(linuxos.ProfileXtensa),
+		ARM:    NullSyscallLx(linuxos.ProfileARM),
+	})
+	// "Overhead" is everything beyond the raw memcpy of the data:
+	// syscalls, fd lookups, page-cache work, and the zero-filling of
+	// fresh blocks (warm caches, as the paper's numbers imply).
+	memcpyTime := func(p linuxos.Profile, bytes int) sim.Time {
+		return sim.Time(float64(bytes) / p.MemcpyBytesPerCycle)
+	}
+	create := func(p linuxos.Profile) (sim.Time, error) {
+		bd, err := RunLx(WriteBench(), p, false)
+		return bd.Total - memcpyTime(p, microFileSize), err
+	}
+	copyOp := func(p linuxos.Profile) (sim.Time, error) {
+		bd, err := RunLx(copyBench(), p, false)
+		return bd.Total - memcpyTime(p, 2*microFileSize), err
+	}
+	xt, err := create(linuxos.ProfileXtensa)
+	if err != nil {
+		return nil, err
+	}
+	arm, err := create(linuxos.ProfileARM)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Sec52Row{Metric: "create 2 MiB file overhead", Xtensa: xt, ARM: arm})
+	xt, err = copyOp(linuxos.ProfileXtensa)
+	if err != nil {
+		return nil, err
+	}
+	arm, err = copyOp(linuxos.ProfileARM)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Sec52Row{Metric: "copy 2 MiB file overhead", Xtensa: xt, ARM: arm})
+	return res, nil
+}
+
+// copyBench reads a 2 MiB file and writes it to a new one.
+func copyBench() workload.Benchmark {
+	rb := ReadBench()
+	return workload.Benchmark{
+		Name:  "copy",
+		PEs:   1,
+		Setup: rb.Setup,
+		Run: func(os workload.OS) error {
+			src, err := os.Open("/bench.dat", workload.Read)
+			if err != nil {
+				return err
+			}
+			dst, err := os.Open("/bench.copy", workload.Write|workload.Create|workload.Trunc)
+			if err != nil {
+				return err
+			}
+			// Plain read+write loop (cp does not use sendfile).
+			buf := make([]byte, microBufSize)
+			for {
+				n, rerr := src.Read(buf)
+				if n > 0 {
+					if _, werr := dst.Write(buf[:n]); werr != nil {
+						return werr
+					}
+				}
+				if rerr != nil {
+					break
+				}
+			}
+			if err := src.Close(); err != nil {
+				return err
+			}
+			return dst.Close()
+		},
+	}
+}
+
+// Print writes the section's table.
+func (r *Sec52Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Section 5.2: Linux on Xtensa vs. Linux on ARM\n")
+	tw := newTable(w, "metric", "Xtensa", "ARM")
+	for _, row := range r.Rows {
+		tw.row(row.Metric, cyc(row.Xtensa), cyc(row.ARM))
+	}
+	tw.flush()
+}
+
+// Fig4Result reproduces Figure 4: read/write time of a 2 MiB file
+// depending on blocks per extent.
+type Fig4Result struct {
+	BlocksPerExtent []int
+	ReadCycles      []sim.Time
+	WriteCycles     []sim.Time
+}
+
+// Fig4 runs experiment E4, sweeping 16..2048 blocks per extent.
+func Fig4() (*Fig4Result, error) {
+	r := &Fig4Result{}
+	for bpe := 16; bpe <= 2048; bpe *= 2 {
+		opts := M3Options{AppendBlocks: bpe, NoMerge: true}
+		wbd, err := RunM3(WriteBench(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 write bpe=%d: %w", bpe, err)
+		}
+		rbd, err := RunM3(ReadBench(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 read bpe=%d: %w", bpe, err)
+		}
+		r.BlocksPerExtent = append(r.BlocksPerExtent, bpe)
+		r.ReadCycles = append(r.ReadCycles, rbd.Total)
+		r.WriteCycles = append(r.WriteCycles, wbd.Total)
+	}
+	return r, nil
+}
+
+// Print writes the figure's series.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: read/write 2 MiB vs. file fragmentation (K cycles)\n")
+	tw := newTable(w, "blocks/extent", "read", "write")
+	for i, bpe := range r.BlocksPerExtent {
+		tw.row(fmt.Sprint(bpe), kcyc(r.ReadCycles[i]), kcyc(r.WriteCycles[i]))
+	}
+	tw.flush()
+}
+
+// Fig5Result reproduces Figure 5: the five application benchmarks on
+// M3, Lx-$, and Lx with App/Xfers/OS breakdown.
+type Fig5Result struct {
+	Apps map[string]map[string]Breakdown // benchmark -> system -> breakdown
+}
+
+// Fig5 runs experiment E5.
+func Fig5() (*Fig5Result, error) {
+	r := &Fig5Result{Apps: map[string]map[string]Breakdown{}}
+	for _, b := range workload.All() {
+		row := map[string]Breakdown{}
+		var err error
+		if row["M3"], err = RunM3(b, M3Options{}); err != nil {
+			return nil, fmt.Errorf("fig5 %s on M3: %w", b.Name, err)
+		}
+		if row["Lx-$"], err = RunLx(b, linuxos.ProfileXtensa, false); err != nil {
+			return nil, fmt.Errorf("fig5 %s on Lx-$: %w", b.Name, err)
+		}
+		if row["Lx"], err = RunLx(b, linuxos.ProfileXtensa, true); err != nil {
+			return nil, fmt.Errorf("fig5 %s on Lx: %w", b.Name, err)
+		}
+		r.Apps[b.Name] = row
+	}
+	return r, nil
+}
+
+// Print writes the figure's rows.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: application-level benchmarks (K cycles)\n")
+	tw := newTable(w, "benchmark", "system", "total", "app", "xfers", "OS", "vs Lx")
+	for _, name := range []string{"cat+tr", "tar", "untar", "find", "sqlite"} {
+		lx := r.Apps[name]["Lx"].Total
+		for _, sys := range []string{"M3", "Lx-$", "Lx"} {
+			b := r.Apps[name][sys]
+			rel := "1.00x"
+			if lx > 0 {
+				rel = fmt.Sprintf("%.2fx", float64(b.Total)/float64(lx))
+			}
+			tw.row(name, sys, kcyc(b.Total), kcyc(b.App), kcyc(b.Xfer), kcyc(b.OS), rel)
+		}
+	}
+	tw.flush()
+}
+
+// Fig6Result reproduces Figure 6: scalability with 1..16 parallel
+// benchmark instances on a single kernel and a single m3fs instance.
+type Fig6Result struct {
+	Instances []int
+	// Normalized per-benchmark mean instance time, relative to the
+	// 1-instance (2 for cat+tr) run.
+	Normalized map[string][]float64
+}
+
+// Fig6 runs experiment E6.
+func Fig6() (*Fig6Result, error) {
+	counts := []int{1, 2, 4, 8, 16}
+	r := &Fig6Result{Instances: counts, Normalized: map[string][]float64{}}
+	for _, b := range workload.All() {
+		var base sim.Time
+		series := make([]float64, 0, len(counts))
+		for _, n := range counts {
+			if b.Name == "cat+tr" && n == 1 {
+				// cat+tr needs two PEs per instance; the paper has no
+				// 1-instance data point (§5.7). Use the 2-instance run
+				// as the baseline.
+				series = append(series, 0)
+				continue
+			}
+			t, err := RunM3Instances(b, n)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s n=%d: %w", b.Name, n, err)
+			}
+			if base == 0 {
+				base = t
+			}
+			series = append(series, float64(t)/float64(base))
+		}
+		r.Normalized[b.Name] = series
+	}
+	return r, nil
+}
+
+// Print writes the figure's series (flatter is better).
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: scalability, time per instance normalized to the first run (flatter is better)\n")
+	hdr := []string{"benchmark"}
+	for _, n := range r.Instances {
+		hdr = append(hdr, fmt.Sprintf("%d", n))
+	}
+	tw := newTable(w, hdr...)
+	for _, name := range []string{"cat+tr", "tar", "untar", "find", "sqlite"} {
+		row := []string{name}
+		for _, v := range r.Normalized[name] {
+			if v == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+		}
+		tw.row(row...)
+	}
+	tw.flush()
+}
+
+// Fig7Result reproduces Figure 7: the FFT filter chain on Linux, on M3
+// with the software FFT, and on M3 with the accelerator core.
+type Fig7Result struct {
+	Linux   Breakdown
+	M3Soft  Breakdown
+	M3Accel Breakdown
+}
+
+// Fig7 runs experiment E7.
+func Fig7() (*Fig7Result, error) {
+	r := &Fig7Result{}
+	var err error
+	if r.Linux, err = RunLx(accel.FFTChain(false), linuxos.ProfileXtensa, true); err != nil {
+		return nil, fmt.Errorf("fig7 linux: %w", err)
+	}
+	if r.M3Soft, err = RunM3(accel.FFTChain(false), M3Options{}); err != nil {
+		return nil, fmt.Errorf("fig7 m3 soft: %w", err)
+	}
+	if r.M3Accel, err = RunM3(accel.FFTChain(true), M3Options{FFTPEs: 1, ExtraPEs: -1}); err != nil {
+		return nil, fmt.Errorf("fig7 m3 accel: %w", err)
+	}
+	return r, nil
+}
+
+// Print writes the figure's rows.
+func (r *Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7: FFT filter chain, 32 KiB (K cycles; app = generation + FFT)\n")
+	tw := newTable(w, "system", "total", "app(FFT)", "xfers", "OS")
+	for _, e := range []struct {
+		name string
+		b    Breakdown
+	}{{"Linux", r.Linux}, {"M3", r.M3Soft}, {"M3+accelerator", r.M3Accel}} {
+		tw.row(e.name, kcyc(e.b.Total), kcyc(e.b.App), kcyc(e.b.Xfer), kcyc(e.b.OS))
+	}
+	tw.flush()
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// Micro-benchmarks of §5.4: transfer 2 MiB with 4 KiB buffers ("4 KiB
+// is the sweet spot on Linux"). The file is not fragmented on M3.
+const (
+	microFileSize = 2 << 20
+	microBufSize  = 4 << 10
+)
+
+// ReadBench reads a 2 MiB file, discarding the data.
+func ReadBench() workload.Benchmark {
+	return workload.Benchmark{
+		Name: "read",
+		PEs:  1,
+		Setup: func(os workload.OS) error {
+			return writeFilePattern(os, "/bench.dat", microFileSize)
+		},
+		Run: func(os workload.OS) error {
+			f, err := os.Open("/bench.dat", workload.Read)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, microBufSize)
+			for {
+				if _, err := f.Read(buf); err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					return err
+				}
+			}
+			return f.Close()
+		},
+	}
+}
+
+// WriteBench writes precomputed data into a new file.
+func WriteBench() workload.Benchmark {
+	return workload.Benchmark{
+		Name:  "write",
+		PEs:   1,
+		Setup: func(os workload.OS) error { return nil },
+		Run: func(os workload.OS) error {
+			return writeFilePattern(os, "/bench.out", microFileSize)
+		},
+	}
+}
+
+// PipeBench transfers 2 MiB between two processes/VPEs.
+func PipeBench() workload.Benchmark {
+	return workload.Benchmark{
+		Name:  "pipe",
+		PEs:   2,
+		Setup: func(os workload.OS) error { return nil },
+		Run: func(os workload.OS) error {
+			r, wait, err := os.PipeFromChild("producer", func(cos workload.OS, w workload.File) {
+				buf := make([]byte, microBufSize)
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+				for sent := 0; sent < microFileSize; sent += len(buf) {
+					if _, err := w.Write(buf); err != nil {
+						return
+					}
+				}
+				_ = w.Close()
+			})
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, microBufSize)
+			for {
+				if _, err := r.Read(buf); err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					return err
+				}
+			}
+			_ = r.Close()
+			wait()
+			return nil
+		},
+	}
+}
+
+func writeFilePattern(os workload.OS, path string, size int) error {
+	f, err := os.Open(path, workload.Write|workload.Create|workload.Trunc)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, microBufSize)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	for written := 0; written < size; written += len(buf) {
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

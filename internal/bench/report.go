@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// table is a minimal column-aligned text table writer.
+type table struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+func newTable(w io.Writer, header ...string) *table {
+	return &table{w: w, header: header}
+}
+
+func (t *table) row(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) flush() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(t.w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// cyc formats plain cycles.
+func cyc(t sim.Time) string { return fmt.Sprintf("%d", t) }
+
+// kcyc formats thousands of cycles.
+func kcyc(t sim.Time) string { return fmt.Sprintf("%.1f", float64(t)/1e3) }
+
+// mcyc formats millions of cycles.
+func mcyc(t sim.Time) string { return fmt.Sprintf("%.3f", float64(t)/1e6) }

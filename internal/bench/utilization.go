@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/m3"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+)
+
+// The utilization trade-off (§3.4): "The disadvantage of this design is
+// the decrease in system utilization, because a PE is idling (for a
+// certain time) if the application on that PE is waiting for an
+// incoming message or the completion of a memory transfer." M3 accepts
+// this in exchange for heterogeneity support and kept cache/TLB state.
+// This experiment quantifies it: per-PE busy fractions during a
+// benchmark, where idle time is the DTU-wait time the hardware
+// observes.
+
+// PEUtilization is one PE's share of busy cycles over the run.
+type PEUtilization struct {
+	PE   int
+	Role string
+	Busy float64 // 1 - idle/elapsed
+}
+
+// UtilizationResult is the outcome of RunUtilization.
+type UtilizationResult struct {
+	Benchmark string
+	Elapsed   sim.Time
+	PEs       []PEUtilization
+	// Mean is the average busy fraction across all PEs incl. kernel
+	// and service — the "system utilization" the paper trades away.
+	Mean float64
+}
+
+// RunUtilization executes b once on M3 and reports per-PE utilization
+// over the run phase.
+func RunUtilization(b workload.Benchmark) (*UtilizationResult, error) {
+	s := bootM3(M3Options{}, b.PEs)
+	res := &UtilizationResult{Benchmark: b.Name}
+	var runErr error
+	idleBase := make([]uint64, len(s.plat.PEs))
+	var start sim.Time
+	_, err := s.kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, s.kern)
+		os, err := workload.NewM3OS(env)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := b.Setup(os); err != nil {
+			runErr = err
+			return
+		}
+		for i, pe := range s.plat.PEs {
+			idleBase[i] = pe.DTU.IdleCyclesAt(ctx.Now())
+		}
+		start = ctx.Now()
+		if err := b.Run(os); err != nil {
+			runErr = err
+			return
+		}
+		res.Elapsed = ctx.Now() - start
+		for i, pe := range s.plat.PEs {
+			idle := pe.DTU.IdleCyclesAt(ctx.Now()) - idleBase[i]
+			busy := 1 - float64(idle)/float64(res.Elapsed)
+			if busy < 0 {
+				busy = 0
+			}
+			role := "app"
+			switch i {
+			case 0:
+				role = "kernel"
+			case 1:
+				role = "m3fs"
+			}
+			res.PEs = append(res.PEs, PEUtilization{PE: pe.ID, Role: role, Busy: busy})
+		}
+		env.Exit(0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	var sum float64
+	for _, u := range res.PEs {
+		sum += u.Busy
+	}
+	res.Mean = sum / float64(len(res.PEs))
+	return res, nil
+}
+
+func (r *UtilizationResult) String() string {
+	s := fmt.Sprintf("%s: mean PE utilization %.1f%% over %d cycles (", r.Benchmark, r.Mean*100, r.Elapsed)
+	for i, u := range r.PEs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%.0f%%", u.Role, u.Busy*100)
+	}
+	return s + ")"
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kif"
+)
+
+func table() *CapTable { return newCapTable(&VPE{ID: 1, Name: "t"}) }
+
+func TestInstallGet(t *testing.T) {
+	tab := table()
+	obj := &MemObj{Size: 10}
+	c, err := tab.Install(5, CapMem, obj)
+	if err != kif.OK {
+		t.Fatal(err)
+	}
+	if c.Sel() != 5 {
+		t.Fatalf("sel = %d", c.Sel())
+	}
+	got, err := tab.Get(5, CapMem)
+	if err != kif.OK || got.Obj != obj {
+		t.Fatalf("get = %v, %v", got, err)
+	}
+	if _, err := tab.Get(5, CapVPE); err != kif.ErrNoSuchCap {
+		t.Fatalf("type mismatch should fail, got %v", err)
+	}
+	if _, err := tab.Get(6, CapInvalid); err != kif.ErrNoSuchCap {
+		t.Fatalf("missing sel should fail, got %v", err)
+	}
+	if _, err := tab.Install(5, CapMem, obj); err != kif.ErrExists {
+		t.Fatalf("double install should fail, got %v", err)
+	}
+}
+
+func TestDelegateAndRevokeRecursive(t *testing.T) {
+	a, b, c := table(), table(), table()
+	obj := &MemObj{Size: 100}
+	root, _ := a.Install(1, CapMem, obj)
+	// a -> b -> c chain.
+	bc, err := root.DelegateTo(b, 2, nil)
+	if err != kif.OK {
+		t.Fatal(err)
+	}
+	if _, err := bc.DelegateTo(c, 3, nil); err != kif.OK {
+		t.Fatal(err)
+	}
+	var dropped []*Capability
+	root.Revoke(func(cp *Capability) { dropped = append(dropped, cp) })
+	if len(dropped) != 3 {
+		t.Fatalf("dropped %d caps, want 3", len(dropped))
+	}
+	for _, tab := range []*CapTable{a, b, c} {
+		if tab.Len() != 0 {
+			t.Fatalf("table still holds %d caps", tab.Len())
+		}
+	}
+	// Root must be dropped last (children first).
+	if dropped[len(dropped)-1] != root {
+		t.Fatal("root was not dropped last")
+	}
+}
+
+func TestRevokeMidChainKeepsAncestors(t *testing.T) {
+	a, b, c := table(), table(), table()
+	root, _ := a.Install(1, CapMem, &MemObj{})
+	mid, _ := root.DelegateTo(b, 1, nil)
+	_, _ = mid.DelegateTo(c, 1, nil)
+	mid.Revoke(nil)
+	if a.Len() != 1 {
+		t.Fatal("ancestor removed by mid-chain revoke")
+	}
+	if b.Len() != 0 || c.Len() != 0 {
+		t.Fatal("descendants not removed")
+	}
+	if len(root.children) != 0 {
+		t.Fatal("root still references revoked child")
+	}
+}
+
+func TestInstallChildTyped(t *testing.T) {
+	a := table()
+	rg := &RGateObj{}
+	rcap, _ := a.Install(1, CapRGate, rg)
+	sg, err := a.InstallChild(rcap, 2, CapSGate, &SGateObj{RGate: rg})
+	if err != kif.OK {
+		t.Fatal(err)
+	}
+	if sg.Type != CapSGate {
+		t.Fatalf("child type = %v", sg.Type)
+	}
+	rcap.Revoke(nil)
+	if a.Len() != 0 {
+		t.Fatal("revoking rgate must drop sgates")
+	}
+}
+
+// TestRevokeTreeProperty builds random delegation trees and checks that
+// revoking the root always empties every table and visits every node
+// exactly once.
+func TestRevokeTreeProperty(t *testing.T) {
+	f := func(shape []uint8) bool {
+		tables := []*CapTable{table(), table(), table(), table()}
+		root, _ := tables[0].Install(1, CapMem, &MemObj{})
+		nodes := []*Capability{root}
+		sel := kif.CapSel(10)
+		for _, s := range shape {
+			parent := nodes[int(s)%len(nodes)]
+			tab := tables[int(s/16)%len(tables)]
+			sel++
+			child, err := parent.DelegateTo(tab, sel, nil)
+			if err != kif.OK {
+				return false
+			}
+			nodes = append(nodes, child)
+		}
+		count := 0
+		root.Revoke(func(*Capability) { count++ })
+		if count != len(nodes) {
+			return false
+		}
+		for _, tab := range tables {
+			if tab.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorFirstFit(t *testing.T) {
+	a := newAllocator(0, 1000)
+	x, ok := a.alloc(100)
+	if !ok || x != 0 {
+		t.Fatalf("alloc = %d, %v", x, ok)
+	}
+	y, ok := a.alloc(200)
+	if !ok || y != 100 {
+		t.Fatalf("alloc = %d, %v", y, ok)
+	}
+	a.release(x, 100)
+	z, ok := a.alloc(50)
+	if !ok || z != 0 {
+		t.Fatalf("reuse alloc = %d, %v", z, ok)
+	}
+	if _, ok := a.alloc(10000); ok {
+		t.Fatal("oversized alloc should fail")
+	}
+	if _, ok := a.alloc(0); ok {
+		t.Fatal("zero alloc should fail")
+	}
+}
+
+func TestAllocatorCoalesce(t *testing.T) {
+	a := newAllocator(0, 300)
+	x, _ := a.alloc(100)
+	y, _ := a.alloc(100)
+	z, _ := a.alloc(100)
+	a.release(x, 100)
+	a.release(z, 100)
+	a.release(y, 100) // middle release must coalesce all three
+	w, ok := a.alloc(300)
+	if !ok || w != 0 {
+		t.Fatalf("coalesced alloc = %d, %v (free=%d)", w, ok, a.totalFree())
+	}
+}
+
+func TestAllocatorProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := newAllocator(0, 1<<16)
+		type held struct{ addr, size int }
+		var allocs []held
+		for _, op := range ops {
+			if op%3 != 0 && len(allocs) > 0 {
+				// Release a random held allocation.
+				i := int(op) % len(allocs)
+				a.release(allocs[i].addr, allocs[i].size)
+				allocs = append(allocs[:i], allocs[i+1:]...)
+				continue
+			}
+			size := int(op%1024) + 1
+			if addr, ok := a.alloc(size); ok {
+				// No overlap with existing allocations.
+				for _, h := range allocs {
+					if addr < h.addr+h.size && h.addr < addr+size {
+						return false
+					}
+				}
+				allocs = append(allocs, held{addr, size})
+			}
+		}
+		total := 0
+		for _, h := range allocs {
+			total += h.size
+		}
+		return a.totalFree()+total == 1<<16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

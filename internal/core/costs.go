@@ -1,0 +1,31 @@
+package core
+
+import "repro/internal/sim"
+
+// Kernel-side cycle costs, calibrated so the null system call lands at
+// the paper's ~200 cycles total (~30 cycles of message transfers, ~170
+// cycles of marshalling, DTU programming, and dispatch across client
+// and kernel; §5.3).
+const (
+	// CostDispatch covers fetching the message, unmarshalling the
+	// opcode, and finding the system-call function to call.
+	CostDispatch sim.Time = 40
+	// CostReply covers marshalling the reply and programming the DTU.
+	CostReply sim.Time = 25
+
+	CostNoop      sim.Time = 15
+	CostCreateVPE sim.Time = 150
+	CostVPEStart  sim.Time = 100
+	CostVPEWait   sim.Time = 40
+	CostExit      sim.Time = 100
+	CostReqMem    sim.Time = 80
+	CostDeriveMem sim.Time = 60
+	CostCreateRG  sim.Time = 60
+	CostCreateSG  sim.Time = 60
+	CostActivate  sim.Time = 60
+	CostCreateSrv sim.Time = 80
+	CostOpenSess  sim.Time = 120
+	CostExchange  sim.Time = 100
+	CostPerCap    sim.Time = 40
+	CostRevokeCap sim.Time = 30
+)

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dtu"
+	"repro/internal/kif"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// Program is the unit of execution the kernel can start on a PE. The
+// program table stands in for the executable store: real M3 transfers
+// binaries; we transfer the same bytes for timing but dispatch into Go
+// functions.
+type Program func(c *tile.Ctx)
+
+// ProgTable maps program ids (carried in vpestart system calls) to
+// program functions. It is host-side state shared by kernel and libm3.
+type ProgTable struct {
+	progs map[uint64]Program
+	next  uint64
+}
+
+// Register stores f and returns its id.
+func (t *ProgTable) Register(f Program) uint64 {
+	if t.progs == nil {
+		t.progs = make(map[uint64]Program)
+	}
+	t.next++
+	t.progs[t.next] = f
+	return t.next
+}
+
+// Get returns the program with the given id, or nil.
+func (t *ProgTable) Get(id uint64) Program { return t.progs[id] }
+
+// Stats counts kernel activity.
+type Stats struct {
+	Syscalls     map[kif.SyscallOp]uint64
+	ServiceCalls uint64
+}
+
+// Kernel is the M3 kernel instance, bound to a dedicated kernel PE.
+type Kernel struct {
+	Plat  *tile.Platform
+	PE    *tile.PE
+	Progs *ProgTable
+
+	// cpu serializes kernel software: the dispatcher and helper
+	// activities share the single kernel core.
+	cpu *sim.Resource
+
+	vpes     map[uint64]*VPE
+	nextVPE  uint64
+	peUsed   []bool
+	services map[string]*ServiceObj
+	dram     *allocator
+
+	pendingServ map[uint64]*servPending
+	nextServOp  uint64
+	nextSrvEP   int
+
+	inits  []initAction
+	booted bool
+
+	Stats Stats
+}
+
+type servPending struct {
+	sig *sim.Signal
+	msg *dtu.Message
+}
+
+type initAction struct {
+	vpe  *VPE
+	prog Program
+}
+
+// Boot creates the kernel on the given PE, configures its receive
+// endpoints, and schedules the boot process that downgrades all
+// application PEs (NoC-level isolation) and then serves system calls
+// forever. Init VPEs queued with StartInit before the engine runs are
+// started by the boot process.
+func Boot(plat *tile.Platform, kernelPE int) *Kernel {
+	kpe := plat.PEs[kernelPE]
+	k := &Kernel{
+		Plat:        plat,
+		PE:          kpe,
+		Progs:       &ProgTable{},
+		cpu:         sim.NewResource(plat.Eng, 1),
+		vpes:        make(map[uint64]*VPE),
+		peUsed:      make([]bool, len(plat.PEs)),
+		services:    make(map[string]*ServiceObj),
+		dram:        newAllocator(0, plat.DRAM.Size()),
+		pendingServ: make(map[uint64]*servPending),
+		nextSrvEP:   kif.KFirstSrvEP,
+	}
+	k.peUsed[kernelPE] = true
+	mustConfig(kpe.DTU.Configure(kif.KSyscallEP, dtu.Endpoint{
+		Type: dtu.EpReceive, BufAddr: kif.KSyscallBufAddr,
+		SlotSize: kif.KSyscallSlotSize, SlotCount: kif.KSyscallSlots,
+	}))
+	mustConfig(kpe.DTU.Configure(kif.KServReplyEP, dtu.Endpoint{
+		Type: dtu.EpReceive, BufAddr: kif.KServReplyBufAddr,
+		SlotSize: kif.KServReplySlotSize, SlotCount: kif.KServReplySlots,
+	}))
+	k.Stats.Syscalls = make(map[kif.SyscallOp]uint64)
+	kpe.Start("kernel", k.run)
+	return k
+}
+
+func mustConfig(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("core: kernel endpoint config failed: %v", err))
+	}
+}
+
+// StartInit queues a VPE that the kernel starts during boot, before
+// serving system calls: the way services (m3fs) and the first
+// application enter the system. It must be called before the engine
+// runs. It returns the created VPE.
+func (k *Kernel) StartInit(name string, peType tile.CoreType, prog Program) (*VPE, error) {
+	if k.booted {
+		return nil, errors.New("core: StartInit after boot")
+	}
+	pe := k.allocPE(peType)
+	if pe == nil {
+		return nil, errors.New("core: no free PE for init VPE")
+	}
+	vpe := k.newVPE(name, pe)
+	k.inits = append(k.inits, initAction{vpe: vpe, prog: prog})
+	return vpe, nil
+}
+
+// VPEByID returns a VPE by id (for tests and the harness).
+func (k *Kernel) VPEByID(id uint64) *VPE { return k.vpes[id] }
+
+// CPU exposes the kernel CPU resource for utilisation statistics.
+func (k *Kernel) CPU() *sim.Resource { return k.cpu }
+
+func (k *Kernel) newVPE(name string, pe *tile.PE) *VPE {
+	k.nextVPE++
+	vpe := &VPE{
+		ID:      k.nextVPE,
+		Name:    name,
+		PE:      pe,
+		epCaps:  make(map[int]*Capability),
+		exitSig: sim.NewSignal(k.Plat.Eng),
+		kern:    k,
+	}
+	vpe.Caps = newCapTable(vpe)
+	k.vpes[vpe.ID] = vpe
+	return vpe
+}
+
+func (k *Kernel) allocPE(peType tile.CoreType) *tile.PE {
+	for _, pe := range k.Plat.PEs {
+		if !k.peUsed[pe.ID] && (peType == "" || pe.Type == peType) {
+			k.peUsed[pe.ID] = true
+			return pe
+		}
+	}
+	return nil
+}
+
+// compute models kernel software work: it occupies the (single) kernel
+// CPU for n cycles.
+func (k *Kernel) compute(p *sim.Process, n sim.Time) {
+	k.cpu.Acquire(p, 1)
+	p.Sleep(n)
+	k.cpu.Release(1)
+}
+
+// run is the kernel program: boot, then dispatch system calls forever.
+func (k *Kernel) run(c *tile.Ctx) {
+	p := c.P
+	for _, pe := range k.Plat.PEs {
+		if pe.ID == k.PE.ID {
+			continue
+		}
+		if err := k.PE.DTU.SetPrivilegedRemote(p, pe.Node, false); err != nil {
+			panic(fmt.Sprintf("core: downgrade of PE %d failed: %v", pe.ID, err))
+		}
+	}
+	for _, init := range k.inits {
+		k.installStdEPs(p, init.vpe)
+		prog := init.prog
+		init.vpe.PE.Start(init.vpe.Name, prog)
+	}
+	k.booted = true
+	k.dispatch(p)
+}
+
+// installStdEPs configures the standard endpoints of a VPE's PE: the
+// syscall send gate, the syscall-reply receive gate, and the
+// call-reply receive gate.
+func (k *Kernel) installStdEPs(p *sim.Process, vpe *VPE) {
+	node := vpe.PE.Node
+	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.SyscallEP, dtu.Endpoint{
+		Type: dtu.EpSend, Target: k.PE.Node, TargetEP: kif.KSyscallEP,
+		Label: vpe.ID, Credits: 1, MsgSize: kif.MaxMsgSize,
+	}))
+	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.SysReplyEP, dtu.Endpoint{
+		Type: dtu.EpReceive, BufAddr: kif.SysReplyBufAddr,
+		SlotSize: kif.SysReplySlotSize, SlotCount: kif.SysReplySlots,
+	}))
+	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.CallReplyEP, dtu.Endpoint{
+		Type: dtu.EpReceive, BufAddr: kif.CallReplyBufAddr,
+		SlotSize: kif.CallReplySlotSize, SlotCount: kif.CallReplySlots,
+	}))
+}
+
+// dispatch is the kernel main loop.
+func (k *Kernel) dispatch(p *sim.Process) {
+	d := k.PE.DTU
+	for {
+		msg, ep := d.WaitMsg(p, kif.KSyscallEP, kif.KServReplyEP)
+		if ep == kif.KServReplyEP {
+			// Service-protocol reply: route to the waiting helper.
+			k.compute(p, 20)
+			if pend, ok := k.pendingServ[msg.Label]; ok {
+				pend.msg = msg
+				pend.sig.Broadcast()
+			} else {
+				d.Ack(ep, msg)
+			}
+			continue
+		}
+		k.handleSyscall(p, msg)
+	}
+}
+
+func (k *Kernel) handleSyscall(p *sim.Process, msg *dtu.Message) {
+	vpe := k.vpes[msg.Label]
+	is := kif.NewIStream(msg.Data)
+	op := is.Op()
+	k.compute(p, CostDispatch)
+	if is.Err() != nil {
+		// Too short to even carry an opcode.
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+		return
+	}
+	k.Stats.Syscalls[op]++
+	if k.Plat.Eng.Tracing() {
+		k.Plat.Eng.Emit("kernel", fmt.Sprintf("syscall %s from vpe %d", op, msg.Label))
+	}
+	if vpe == nil || vpe.exited {
+		k.replyErr(p, msg, kif.ErrVPEGone)
+		return
+	}
+	switch op {
+	case kif.SysNoop:
+		k.compute(p, CostNoop)
+		k.replyErr(p, msg, kif.OK)
+	case kif.SysCreateVPE:
+		k.sysCreateVPE(p, vpe, is, msg)
+	case kif.SysVPEStart:
+		k.sysVPEStart(p, vpe, is, msg)
+	case kif.SysVPEWait:
+		k.sysVPEWait(p, vpe, is, msg)
+	case kif.SysExit:
+		k.sysExit(p, vpe, is, msg)
+	case kif.SysReqMem:
+		k.sysReqMem(p, vpe, is, msg)
+	case kif.SysDeriveMem:
+		k.sysDeriveMem(p, vpe, is, msg)
+	case kif.SysCreateRGate:
+		k.sysCreateRGate(p, vpe, is, msg)
+	case kif.SysCreateSGate:
+		k.sysCreateSGate(p, vpe, is, msg)
+	case kif.SysActivate:
+		k.sysActivate(p, vpe, is, msg)
+	case kif.SysCreateSrv:
+		k.sysCreateSrv(p, vpe, is, msg)
+	case kif.SysOpenSess:
+		k.sysOpenSess(p, vpe, is, msg)
+	case kif.SysExchangeSess:
+		k.sysExchangeSess(p, vpe, is, msg)
+	case kif.SysDelegate, kif.SysObtain:
+		k.sysExchangeVPE(p, vpe, is, msg, op == kif.SysObtain)
+	case kif.SysRevoke:
+		k.sysRevoke(p, vpe, is, msg)
+	default:
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+	}
+}
+
+// reply marshals and sends a syscall reply.
+func (k *Kernel) reply(p *sim.Process, msg *dtu.Message, o *kif.OStream) {
+	k.compute(p, CostReply)
+	if !msg.CanReply() {
+		k.PE.DTU.Ack(kif.KSyscallEP, msg)
+		return
+	}
+	if err := k.PE.DTU.Reply(p, kif.KSyscallEP, msg, o.Bytes()); err != nil {
+		panic(fmt.Sprintf("core: syscall reply failed: %v", err))
+	}
+}
+
+func (k *Kernel) replyErr(p *sim.Process, msg *dtu.Message, e kif.Error) {
+	var o kif.OStream
+	o.Err(e)
+	k.reply(p, msg, &o)
+}

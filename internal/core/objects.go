@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/dtu"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// VPE is a virtual processing element: the kernel's abstraction for an
+// application activity, bound to exactly one PE at any point in time.
+type VPE struct {
+	ID   uint64
+	Name string
+	PE   *tile.PE
+
+	Caps *CapTable
+
+	// epCaps tracks which capability each endpoint of the VPE's DTU is
+	// currently activated for, so revocation invalidates exactly the
+	// endpoints that still belong to revoked capabilities.
+	epCaps map[int]*Capability
+
+	exited   bool
+	exitCode int64
+	exitSig  *sim.Signal
+
+	kern *Kernel
+}
+
+// Exited reports whether the VPE's program has terminated.
+func (v *VPE) Exited() bool { return v.exited }
+
+// ExitCode returns the code passed to the exit system call.
+func (v *VPE) ExitCode() int64 { return v.exitCode }
+
+// RGateObj is the kernel object of a receive gate: a message buffer
+// description bound to (at most) one receive endpoint at its owner's
+// PE. Receive gates cannot be delegated (the paper: they can only be
+// moved after invalidating all senders), so the object stays with its
+// creator.
+type RGateObj struct {
+	Owner    *VPE
+	SlotSize int // payload slot size, excluding the DTU header
+	Slots    int
+
+	// Activation state: EP < 0 until the owner activates the gate.
+	EP      int
+	BufAddr int
+
+	activated *sim.Signal
+}
+
+// Activated reports whether the gate is bound to an endpoint.
+func (r *RGateObj) Activated() bool { return r.EP >= 0 }
+
+// SGateObj is the kernel object of a send gate: the right to send
+// messages to a receive gate, with a receiver-chosen label and a credit
+// limit. Send gates are freely delegable.
+type SGateObj struct {
+	RGate   *RGateObj
+	Label   uint64
+	Credits int
+}
+
+// MemObj is the kernel object of a memory capability: a region of the
+// DRAM module, of a PE-external SPM, or of the VPE's own PE memory.
+type MemObj struct {
+	Node  noc.NodeID
+	Addr  int
+	Size  int
+	Perms dtu.Perm
+
+	// root marks an allocation owned by the kernel's DRAM allocator;
+	// revoking the root returns the region to the free list.
+	root bool
+}
+
+// ServiceObj represents a registered service: its name and the
+// kernel's private send path to the service's control gate, created at
+// service registration (the paper, §4.5.3).
+type ServiceObj struct {
+	Name  string
+	Owner *VPE
+	RGate *RGateObj
+	// sendEP is the kernel-DTU endpoint configured for the control
+	// channel.
+	sendEP int
+}
+
+// SessObj represents a session between a client VPE and a service. The
+// Ident was chosen by the service when accepting the session; the
+// kernel passes it back on every session operation, like a label, so
+// the service finds its state without trusting the client.
+type SessObj struct {
+	Service *ServiceObj
+	Ident   uint64
+	Client  *VPE
+}

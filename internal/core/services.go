@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/dtu"
+	"repro/internal/kif"
+	"repro/internal/sim"
+)
+
+// sysCreateSrv: createsrv(dstSel, rgateSel, name) -> err. Registers a
+// service and creates the kernel's private control channel to it: a
+// kernel-DTU send endpoint targeting the service's (already activated)
+// control receive gate.
+func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.Message) {
+	dstSel, rgateSel, name := is.Sel(), is.Sel(), is.Str()
+	if is.Err() != nil || name == "" {
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+		return
+	}
+	if _, exists := k.services[name]; exists {
+		k.replyErr(p, msg, kif.ErrExists)
+		return
+	}
+	rcap, err := vpe.Caps.Get(rgateSel, CapRGate)
+	if err != kif.OK {
+		k.replyErr(p, msg, err)
+		return
+	}
+	rg := rcap.Obj.(*RGateObj)
+	if rg.Owner != vpe || !rg.Activated() {
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+		return
+	}
+	if k.nextSrvEP >= k.PE.DTU.NumEndpoints() {
+		k.replyErr(p, msg, kif.ErrNoSpace)
+		return
+	}
+	k.compute(p, CostCreateSrv)
+	sendEP := k.nextSrvEP
+	k.nextSrvEP++
+	mustConfig(k.PE.DTU.Configure(sendEP, dtu.Endpoint{
+		Type: dtu.EpSend, Target: vpe.PE.Node, TargetEP: rg.EP,
+		Label: 0, Credits: rg.Slots, MsgSize: rg.SlotSize,
+	}))
+	obj := &ServiceObj{Name: name, Owner: vpe, RGate: rg, sendEP: sendEP}
+	if _, e := vpe.Caps.Install(dstSel, CapService, obj); e != kif.OK {
+		k.replyErr(p, msg, e)
+		return
+	}
+	k.services[name] = obj
+	k.replyErr(p, msg, kif.OK)
+}
+
+// callService sends a control message to a service and waits for its
+// reply, correlated via the reply label. The calling helper blocks;
+// the kernel CPU is free in the meantime.
+func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte) (*dtu.Message, kif.Error) {
+	k.nextServOp++
+	opID := k.nextServOp
+	pend := &servPending{sig: sim.NewSignal(k.Plat.Eng)}
+	k.pendingServ[opID] = pend
+	k.Stats.ServiceCalls++
+	for {
+		err := k.PE.DTU.Send(p, svc.sendEP, payload, kif.KServReplyEP, opID)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, dtu.ErrNoCredits) {
+			if werr := k.PE.DTU.WaitCredits(p, svc.sendEP); werr == nil {
+				continue
+			}
+		}
+		delete(k.pendingServ, opID)
+		return nil, kif.ErrNoSuchService
+	}
+	for pend.msg == nil {
+		pend.sig.Wait(p)
+	}
+	delete(k.pendingServ, opID)
+	return pend.msg, kif.OK
+}
+
+// sysOpenSess: opensess(dstSel, name, arg) -> err. The kernel asks the
+// service to accept a session; the service's answer carries the
+// session identifier it chose. Handled by a helper activity because it
+// blocks on the service.
+func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.Message) {
+	dstSel, name, arg := is.Sel(), is.Str(), is.Str()
+	if is.Err() != nil {
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+		return
+	}
+	svc, ok := k.services[name]
+	if !ok {
+		k.replyErr(p, msg, kif.ErrNoSuchService)
+		return
+	}
+	k.compute(p, CostOpenSess)
+	k.Plat.Eng.Spawn("kernel-opensess", func(hp *sim.Process) {
+		var req kif.OStream
+		req.U64(uint64(kif.ServOpen)).Str(arg)
+		resp, cerr := k.callService(hp, svc, req.Bytes())
+		if cerr != kif.OK {
+			k.replyErr(hp, msg, cerr)
+			return
+		}
+		ris := kif.NewIStream(resp.Data)
+		serr := ris.ErrCode()
+		ident := ris.U64()
+		k.PE.DTU.Ack(kif.KServReplyEP, resp)
+		k.compute(hp, 40)
+		if serr != kif.OK {
+			k.replyErr(hp, msg, serr)
+			return
+		}
+		svcCap, gerr := svc.Owner.Caps.Get(findServiceSel(svc), CapService)
+		sess := &SessObj{Service: svc, Ident: ident, Client: vpe}
+		var ierr kif.Error
+		if gerr == kif.OK {
+			_, ierr = vpe.Caps.InstallChild(svcCap, dstSel, CapSession, sess)
+		} else {
+			_, ierr = vpe.Caps.Install(dstSel, CapSession, sess)
+		}
+		if ierr != kif.OK {
+			k.replyErr(hp, msg, ierr)
+			return
+		}
+		k.replyErr(hp, msg, kif.OK)
+	})
+}
+
+// findServiceSel locates the service capability in its owner's table so
+// sessions can hang off it in the revocation tree.
+func findServiceSel(svc *ServiceObj) kif.CapSel {
+	for sel, c := range svc.Owner.Caps.caps {
+		if c.Obj == svc {
+			return sel
+		}
+	}
+	return kif.InvalidSel
+}
+
+// sysExchangeSess: exchangesess(sessSel, obtain, capsStart, capsCount,
+// args) -> (err, retArgs). The kernel forwards the request to the
+// service, which decides and names capabilities from its own table;
+// the kernel then moves them between the service's and the client's
+// tables. This is the mechanism behind m3fs handing out memory
+// capabilities for file extents.
+func (k *Kernel) sysExchangeSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.Message) {
+	sessSel := is.Sel()
+	obtain := is.U64() != 0
+	capsStart, capsCount := is.Sel(), is.U64()
+	args := is.Blob()
+	if is.Err() != nil || capsCount > 32 {
+		k.replyErr(p, msg, kif.ErrInvalidArgs)
+		return
+	}
+	cap, err := vpe.Caps.Get(sessSel, CapSession)
+	if err != kif.OK {
+		k.replyErr(p, msg, err)
+		return
+	}
+	sess := cap.Obj.(*SessObj)
+	k.compute(p, CostExchange)
+	k.Plat.Eng.Spawn("kernel-exchange", func(hp *sim.Process) {
+		var req kif.OStream
+		req.U64(uint64(kif.ServExchange)).U64(sess.Ident)
+		if obtain {
+			req.U64(1)
+		} else {
+			req.U64(0)
+		}
+		req.U64(capsCount).Blob(args)
+		resp, cerr := k.callService(hp, sess.Service, req.Bytes())
+		if cerr != kif.OK {
+			k.replyErr(hp, msg, cerr)
+			return
+		}
+		ris := kif.NewIStream(resp.Data)
+		serr := ris.ErrCode()
+		srvStart := ris.Sel()
+		srvCount := ris.U64()
+		retArgs := ris.Blob()
+		k.PE.DTU.Ack(kif.KServReplyEP, resp)
+		if serr != kif.OK {
+			k.replyErr(hp, msg, serr)
+			return
+		}
+		if srvCount > capsCount {
+			srvCount = capsCount
+		}
+		k.compute(hp, CostPerCap*sim.Time(srvCount+1))
+		owner := sess.Service.Owner.Caps
+		var xerr kif.Error = kif.OK
+		if srvCount > 0 {
+			if obtain {
+				xerr = exchangeCaps(owner, vpe.Caps, srvStart, capsStart, srvCount)
+			} else {
+				xerr = exchangeCaps(vpe.Caps, owner, capsStart, srvStart, srvCount)
+			}
+		}
+		if xerr != kif.OK {
+			k.replyErr(hp, msg, xerr)
+			return
+		}
+		var o kif.OStream
+		o.Err(kif.OK).Blob(retArgs)
+		k.reply(hp, msg, &o)
+	})
+}

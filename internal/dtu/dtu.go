@@ -1,0 +1,540 @@
+package dtu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Errors returned by DTU operations. They model conditions the real
+// hardware signals through status registers.
+var (
+	ErrBadEndpoint   = errors.New("dtu: endpoint misconfigured for this operation")
+	ErrNoCredits     = errors.New("dtu: send denied, no credits left")
+	ErrMsgTooLarge   = errors.New("dtu: message exceeds configured size")
+	ErrNotPrivileged = errors.New("dtu: operation requires a privileged DTU")
+	ErrPerms         = errors.New("dtu: memory endpoint permission denied")
+	ErrBounds        = errors.New("dtu: access outside memory endpoint region")
+	ErrNoReply       = errors.New("dtu: message does not permit a reply")
+	ErrRemote        = errors.New("dtu: remote operation failed")
+)
+
+// DTU is one data transfer unit instance, attached to a PE's core as a
+// memory-mapped device and to the NoC as the PE's only external
+// interface.
+type DTU struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	node noc.NodeID
+	spm  *mem.SPM
+
+	eps        []epState
+	privileged bool
+
+	// MsgAvail fires whenever a message or reply arrives at any receive
+	// endpoint; cores use it to model polling the DTU status register
+	// without burning simulated host CPU.
+	MsgAvail *sim.Signal
+	// CreditAvail fires whenever credits are restored at any send
+	// endpoint.
+	CreditAvail *sim.Signal
+
+	nextOp  uint64
+	pending map[uint64]*pendingOp
+
+	// reqs feeds the DTU's internal engine that serves incoming RDMA
+	// accesses to the local SPM and remote configuration requests.
+	reqs *sim.Queue[*noc.Packet]
+
+	// waitingSince is the start of the core's in-progress DTU wait
+	// (valid while waiting is true), so utilization measurements see
+	// idle time that has not completed yet.
+	waiting      bool
+	waitingSince sim.Time
+
+	Stats Stats
+}
+
+// IdleCyclesAt returns the core's accumulated DTU-wait idle time as of
+// now, including a wait still in progress.
+func (d *DTU) IdleCyclesAt(now sim.Time) uint64 {
+	idle := d.Stats.IdleCycles
+	if d.waiting && now > d.waitingSince {
+		idle += uint64(now - d.waitingSince)
+	}
+	return idle
+}
+
+// idleWait wraps a blocking signal wait with idle accounting.
+func (d *DTU) idleWait(p *sim.Process, sig *sim.Signal) {
+	t0 := d.eng.Now()
+	d.waiting, d.waitingSince = true, t0
+	sig.Wait(p)
+	d.waiting = false
+	d.Stats.IdleCycles += uint64(d.eng.Now() - t0)
+}
+
+// New creates a DTU for the PE at node, attaches it to the network, and
+// starts its internal request server. All DTUs boot privileged (the
+// paper: "all DTUs are privileged at boot"); the kernel downgrades
+// application PEs during boot.
+func New(eng *sim.Engine, net *noc.Network, node noc.NodeID, spm *mem.SPM, numEPs int) *DTU {
+	if numEPs <= 0 {
+		numEPs = DefaultNumEndpoints
+	}
+	d := &DTU{
+		eng:         eng,
+		net:         net,
+		node:        node,
+		spm:         spm,
+		eps:         make([]epState, numEPs),
+		privileged:  true,
+		MsgAvail:    sim.NewSignal(eng),
+		CreditAvail: sim.NewSignal(eng),
+		pending:     make(map[uint64]*pendingOp),
+		reqs:        sim.NewQueue[*noc.Packet](eng),
+	}
+	net.Attach(node, d)
+	eng.Spawn(fmt.Sprintf("dtu%d-server", node), d.serve)
+	return d
+}
+
+// Node returns the NoC node this DTU is attached to.
+func (d *DTU) Node() noc.NodeID { return d.node }
+
+// Privileged reports the DTU's privilege state.
+func (d *DTU) Privileged() bool { return d.privileged }
+
+// SetPrivileged changes privilege locally (used by the platform at
+// boot; at run time privilege changes travel as config packets).
+func (d *DTU) SetPrivileged(v bool) { d.privileged = v }
+
+// NumEndpoints returns the endpoint count.
+func (d *DTU) NumEndpoints() int { return len(d.eps) }
+
+// EP returns a copy of the endpoint registers (software-visible state).
+func (d *DTU) EP(i int) Endpoint { return d.eps[i].Endpoint }
+
+// Configure writes endpoint i's registers. Locally this requires a
+// privileged DTU — application PEs were downgraded at boot and must ask
+// the kernel instead.
+func (d *DTU) Configure(i int, cfg Endpoint) error {
+	if !d.privileged {
+		return ErrNotPrivileged
+	}
+	return d.applyConfig(i, cfg)
+}
+
+func (d *DTU) applyConfig(i int, cfg Endpoint) error {
+	if i < 0 || i >= len(d.eps) {
+		return fmt.Errorf("%w: endpoint %d of %d", ErrBadEndpoint, i, len(d.eps))
+	}
+	if cfg.Type == EpReceive {
+		if cfg.SlotSize <= HeaderSize || cfg.SlotCount <= 0 {
+			return fmt.Errorf("%w: receive endpoint needs slots larger than the header", ErrBadEndpoint)
+		}
+		if cfg.BufAddr < 0 || cfg.BufAddr+cfg.BufSize() > d.spm.Size() {
+			return fmt.Errorf("%w: ringbuffer outside SPM", ErrBounds)
+		}
+	}
+	d.eps[i] = epState{Endpoint: cfg}
+	d.Stats.ConfigsApplied++
+	return nil
+}
+
+// Send transmits data through send endpoint ep. If replyEP >= 0 it
+// names a local receive endpoint for the direct reply and replyLabel
+// the label the reply will carry. The calling process is blocked for
+// the NoC injection and delivery time (the paper's software then polls
+// for the reply; see WaitMsg).
+func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel uint64) error {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpSend {
+		return ErrBadEndpoint
+	}
+	s := &d.eps[ep]
+	if len(data) > s.MsgSize {
+		return ErrMsgTooLarge
+	}
+	if s.Credits == 0 {
+		d.Stats.SendsDenied++
+		return ErrNoCredits
+	}
+	if replyEP >= 0 {
+		if replyEP >= len(d.eps) || d.eps[replyEP].Type != EpReceive {
+			return fmt.Errorf("%w: reply endpoint %d not a receive endpoint", ErrBadEndpoint, replyEP)
+		}
+	}
+	if s.Credits != UnlimitedCredits {
+		s.Credits--
+	}
+	msg := &Message{
+		Label:      s.Label,
+		Data:       append([]byte(nil), data...),
+		ReplyNode:  d.node,
+		ReplyEP:    replyEP,
+		ReplyLabel: replyLabel,
+		CreditEP:   ep,
+	}
+	d.Stats.MsgsSent++
+	if d.eng.Tracing() {
+		d.eng.Emit(d.traceName(), fmt.Sprintf("send ep%d -> node%d/ep%d (%d bytes, label %#x)",
+			ep, s.Target, s.TargetEP, len(data), s.Label))
+	}
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: s.Target, Size: msgWireSize(len(data)),
+		Payload: &msgPacket{TargetEP: s.TargetEP, Msg: msg},
+	})
+	return nil
+}
+
+// traceName identifies the DTU in trace output.
+func (d *DTU) traceName() string { return fmt.Sprintf("dtu%d", d.node) }
+
+// Reply sends data back to the sender of msg, which was fetched from
+// receive endpoint ep. The reply restores one credit at the sender's
+// send endpoint. Each message can be replied to once; replying also
+// acks the message (frees its ringbuffer slot).
+func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpReceive {
+		return ErrBadEndpoint
+	}
+	if !msg.CanReply() {
+		return ErrNoReply
+	}
+	if msg.replied {
+		return fmt.Errorf("%w: already replied", ErrNoReply)
+	}
+	msg.replied = true
+	d.Ack(ep, msg)
+	reply := &Message{
+		Label:     msg.ReplyLabel,
+		Data:      append([]byte(nil), data...),
+		ReplyNode: d.node,
+		ReplyEP:   -1,
+	}
+	d.Stats.Replies++
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: msg.ReplyNode, Size: msgWireSize(len(data)),
+		Payload: &replyPacket{TargetEP: msg.ReplyEP, CreditEP: msg.CreditEP, Msg: reply},
+	})
+	return nil
+}
+
+// Fetch returns the oldest unfetched message at receive endpoint ep, or
+// nil if none arrived. The slot stays occupied until Ack or Reply.
+func (d *DTU) Fetch(ep int) *Message {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpReceive {
+		return nil
+	}
+	r := &d.eps[ep]
+	if len(r.arrived) == 0 {
+		return nil
+	}
+	m := r.arrived[0]
+	r.arrived = r.arrived[1:]
+	return m
+}
+
+// Ack frees the ringbuffer slot of a fetched message (the software
+// advancing the read position).
+func (d *DTU) Ack(ep int, msg *Message) {
+	if msg.acked {
+		return
+	}
+	msg.acked = true
+	if ep >= 0 && ep < len(d.eps) && d.eps[ep].Type == EpReceive {
+		d.eps[ep].occupied--
+	}
+}
+
+// HasMsg reports whether receive endpoint ep holds an unfetched
+// message.
+func (d *DTU) HasMsg(ep int) bool {
+	return ep >= 0 && ep < len(d.eps) && d.eps[ep].Type == EpReceive && len(d.eps[ep].arrived) > 0
+}
+
+// WaitMsg blocks until one of the given receive endpoints (all receive
+// endpoints if none are named) holds a message, then fetches and
+// returns it together with the endpoint index. It models the core
+// polling the DTU's message-status register.
+func (d *DTU) WaitMsg(p *sim.Process, eps ...int) (*Message, int) {
+	for {
+		if len(eps) == 0 {
+			for i := range d.eps {
+				if m := d.Fetch(i); m != nil {
+					return m, i
+				}
+			}
+		} else {
+			for _, i := range eps {
+				if m := d.Fetch(i); m != nil {
+					return m, i
+				}
+			}
+		}
+		d.idleWait(p, d.MsgAvail)
+	}
+}
+
+// WaitCredits blocks until send endpoint ep has at least one credit.
+func (d *DTU) WaitCredits(p *sim.Process, ep int) error {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpSend {
+		return ErrBadEndpoint
+	}
+	for d.eps[ep].Credits == 0 {
+		d.idleWait(p, d.CreditAvail)
+	}
+	return nil
+}
+
+// Credits returns the remaining credits of send endpoint ep.
+func (d *DTU) Credits(ep int) int { return d.eps[ep].Credits }
+
+// ReadMem transfers len(buf) bytes from offset off of the memory region
+// behind memory endpoint ep into buf (and conceptually into the local
+// SPM). The calling process blocks until the data arrived — the
+// paper's software polls a DTU register for transfer completion.
+func (d *DTU) ReadMem(p *sim.Process, ep int, off int, buf []byte) error {
+	m, err := d.memEP(ep, off, len(buf), PermRead)
+	if err != nil {
+		return err
+	}
+	op := d.newOp()
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize,
+		Payload: &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)},
+	})
+	resp := d.waitOp(p, op)
+	if resp.resp.Err != "" {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.resp.Err)
+	}
+	copy(buf, resp.resp.Data)
+	d.Stats.MemReads++
+	d.Stats.BytesRead += uint64(len(buf))
+	return nil
+}
+
+// WriteMem transfers data to offset off of the memory region behind
+// memory endpoint ep. It blocks until the target acknowledged the
+// write.
+func (d *DTU) WriteMem(p *sim.Process, ep int, off int, data []byte) error {
+	m, err := d.memEP(ep, off, len(data), PermWrite)
+	if err != nil {
+		return err
+	}
+	op := d.newOp()
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)),
+		Payload: &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)},
+	})
+	resp := d.waitOp(p, op)
+	if resp.resp.Err != "" {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.resp.Err)
+	}
+	d.Stats.MemWrites++
+	d.Stats.BytesWritten += uint64(len(data))
+	return nil
+}
+
+func (d *DTU) memEP(ep, off, n int, need Perm) (*epState, error) {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpMemory {
+		return nil, ErrBadEndpoint
+	}
+	m := &d.eps[ep]
+	if m.MemPerms&need == 0 {
+		return nil, ErrPerms
+	}
+	if off < 0 || n < 0 || off+n > m.MemSize {
+		return nil, ErrBounds
+	}
+	return m, nil
+}
+
+// GrantCredits restores credits at a send endpoint of the DTU at
+// target without rewriting the whole endpoint: the paper's second
+// refill path, "refilled by either the receiver (typically when
+// replying) or an OS kernel" (§4.4.3). Privileged DTUs only.
+func (d *DTU) GrantCredits(p *sim.Process, target noc.NodeID, sendEP, credits int) error {
+	if !d.privileged {
+		return ErrNotPrivileged
+	}
+	if credits <= 0 {
+		return fmt.Errorf("%w: non-positive credit grant", ErrBadEndpoint)
+	}
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: target, Size: ctrlPacketSize,
+		Payload: &creditPacket{SendEP: sendEP, Credits: credits},
+	})
+	return nil
+}
+
+// ConfigureRemote writes endpoint registers of the DTU at target. Only
+// privileged DTUs may issue config packets; this is the kernel's
+// mechanism for NoC-level isolation.
+func (d *DTU) ConfigureRemote(p *sim.Process, target noc.NodeID, ep int, cfg Endpoint) error {
+	return d.sendConfig(p, target, &ConfigReq{EP: ep, Cfg: cfg})
+}
+
+// SetPrivilegedRemote up/downgrades the privilege of the DTU at target.
+// The kernel downgrades all application PEs during boot.
+func (d *DTU) SetPrivilegedRemote(p *sim.Process, target noc.NodeID, privileged bool) error {
+	req := &ConfigReq{SetPrivilege: -1}
+	if privileged {
+		req.SetPrivilege = 1
+	}
+	return d.sendConfig(p, target, req)
+}
+
+func (d *DTU) sendConfig(p *sim.Process, target noc.NodeID, req *ConfigReq) error {
+	if !d.privileged {
+		return ErrNotPrivileged
+	}
+	req.OpID = d.newOp()
+	req.Src = d.node
+	req.Privileged = true
+	d.net.Send(p, &noc.Packet{
+		Src: d.node, Dst: target, Size: ctrlPacketSize + 48, // register file on the wire
+		Payload: req,
+	})
+	resp := d.waitOp(p, req.OpID)
+	if resp.cfg.Err != "" {
+		return fmt.Errorf("%w: %s", ErrRemote, resp.cfg.Err)
+	}
+	return nil
+}
+
+func (d *DTU) newOp() uint64 {
+	d.nextOp++
+	op := d.nextOp
+	d.pending[op] = &pendingOp{done: sim.NewSignal(d.eng)}
+	return op
+}
+
+func (d *DTU) waitOp(p *sim.Process, op uint64) *pendingOp {
+	po := d.pending[op]
+	for po.resp == nil && po.cfg == nil {
+		d.idleWait(p, po.done)
+	}
+	delete(d.pending, op)
+	return po
+}
+
+// Deliver implements noc.Handler: it is the DTU's NoC-facing side.
+// Message and response packets are handled inline (the hardware writes
+// the ringbuffer / completion registers without software involvement);
+// RDMA and config requests are queued for the DTU's request server.
+func (d *DTU) Deliver(pkt *noc.Packet) {
+	switch pl := pkt.Payload.(type) {
+	case *msgPacket:
+		d.receive(pl.TargetEP, pl.Msg)
+	case *replyPacket:
+		if pl.CreditEP >= 0 && pl.CreditEP < len(d.eps) {
+			s := &d.eps[pl.CreditEP]
+			if s.Type == EpSend && s.Credits != UnlimitedCredits {
+				s.Credits++
+				d.CreditAvail.Broadcast()
+			}
+		}
+		d.receive(pl.TargetEP, pl.Msg)
+	case *creditPacket:
+		if pl.SendEP >= 0 && pl.SendEP < len(d.eps) {
+			s := &d.eps[pl.SendEP]
+			if s.Type == EpSend && s.Credits != UnlimitedCredits {
+				s.Credits += pl.Credits
+				d.CreditAvail.Broadcast()
+			}
+		}
+	case *MemReadReq, *MemWriteReq, *ConfigReq:
+		d.reqs.Send(pkt)
+	case *MemResp:
+		if po, ok := d.pending[pl.OpID]; ok {
+			po.resp = pl
+			po.done.Broadcast()
+		}
+	case *ConfigResp:
+		if po, ok := d.pending[pl.OpID]; ok {
+			po.cfg = pl
+			po.done.Broadcast()
+		}
+	default:
+		panic(fmt.Sprintf("dtu: unknown packet payload %T", pkt.Payload))
+	}
+}
+
+// receive places a message into the ringbuffer of receive endpoint ep,
+// writing it into the SPM like the hardware does, or drops it when the
+// buffer is full or the endpoint is not receiving.
+func (d *DTU) receive(ep int, msg *Message) {
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpReceive {
+		d.Stats.MsgsDropped++
+		return
+	}
+	r := &d.eps[ep]
+	if r.occupied >= r.SlotCount || HeaderSize+len(msg.Data) > r.SlotSize {
+		d.Stats.MsgsDropped++
+		return
+	}
+	slot := r.nextSlot
+	// Find a free slot; occupied < SlotCount guarantees one exists.
+	r.nextSlot = (r.nextSlot + 1) % r.SlotCount
+	msg.slot = slot
+	if err := d.spm.Write(r.BufAddr+slot*r.SlotSize+HeaderSize, msg.Data); err != nil {
+		d.Stats.MsgsDropped++
+		return
+	}
+	r.occupied++
+	r.arrived = append(r.arrived, msg)
+	d.Stats.MsgsReceived++
+	if d.eng.Tracing() {
+		d.eng.Emit(d.traceName(), fmt.Sprintf("recv ep%d slot%d (%d bytes, label %#x)",
+			ep, slot, len(msg.Data), msg.Label))
+	}
+	d.MsgAvail.Broadcast()
+}
+
+// serve is the DTU's internal engine handling incoming RDMA accesses to
+// the local SPM and remote configuration writes.
+func (d *DTU) serve(p *sim.Process) {
+	for {
+		pkt := d.reqs.Recv(p)
+		switch req := pkt.Payload.(type) {
+		case *MemReadReq:
+			buf := make([]byte, req.Len)
+			resp := &MemResp{OpID: req.OpID}
+			if err := d.spm.Read(req.Addr, buf); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Data = buf
+			}
+			d.net.Send(p, &noc.Packet{
+				Src: d.node, Dst: req.Src, Size: msgWireSize(len(resp.Data)), Payload: resp,
+			})
+		case *MemWriteReq:
+			resp := &MemResp{OpID: req.OpID}
+			if err := d.spm.Write(req.Addr, req.Data); err != nil {
+				resp.Err = err.Error()
+			}
+			d.net.Send(p, &noc.Packet{
+				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,
+			})
+		case *ConfigReq:
+			resp := &ConfigResp{OpID: req.OpID}
+			if !req.Privileged {
+				resp.Err = ErrNotPrivileged.Error()
+			} else if req.SetPrivilege != 0 {
+				d.privileged = req.SetPrivilege > 0
+			} else if err := d.applyConfig(req.EP, req.Cfg); err != nil {
+				resp.Err = err.Error()
+			} else if d.eng.Tracing() {
+				d.eng.Emit(d.traceName(), fmt.Sprintf("config ep%d <- node%d (%s)",
+					req.EP, req.Src, req.Cfg.Type))
+			}
+			d.net.Send(p, &noc.Packet{
+				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,
+			})
+		}
+	}
+}

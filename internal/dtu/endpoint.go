@@ -1,0 +1,156 @@
+// Package dtu implements the data transfer unit, the paper's common
+// hardware component attached to every processing element.
+//
+// A DTU holds a small set of endpoints. Each endpoint can be configured
+// as a send endpoint, a receive endpoint, or a memory endpoint; the
+// configuration registers are writable only by privileged (kernel) PEs —
+// locally or remotely via NoC config packets — while the data-path
+// operations (send, reply, fetch, read, write) are available to the
+// application on the PE. Controlling the endpoint configuration of a
+// DTU therefore controls all communication of the attached core: this
+// is the paper's NoC-level isolation.
+package dtu
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// DefaultNumEndpoints is the endpoint count of the prototype platform.
+const DefaultNumEndpoints = 8
+
+// HeaderSize is the wire size in bytes of the message header the DTU
+// prepends to every message: label, length, and reply information.
+const HeaderSize = 16
+
+// UnlimitedCredits marks a send endpoint that is never throttled. The
+// kernel uses it for its own channels.
+const UnlimitedCredits = -1
+
+// EpType is the configured role of an endpoint.
+type EpType uint8
+
+// Endpoint roles.
+const (
+	EpInvalid EpType = iota
+	EpSend
+	EpReceive
+	EpMemory
+)
+
+func (t EpType) String() string {
+	switch t {
+	case EpInvalid:
+		return "invalid"
+	case EpSend:
+		return "send"
+	case EpReceive:
+		return "receive"
+	case EpMemory:
+		return "memory"
+	}
+	return "unknown"
+}
+
+// Perm is a memory-endpoint permission bitmask.
+type Perm uint8
+
+// Memory permissions.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermRW = PermRead | PermWrite
+)
+
+// Endpoint is the register file of one endpoint. Which fields are
+// meaningful depends on Type; the kernel writes the whole set
+// atomically when it activates a gate.
+type Endpoint struct {
+	Type EpType
+
+	// Send endpoint registers (the paper's target, label, credits).
+	Target   noc.NodeID // PE holding the receive endpoint
+	TargetEP int        // receive endpoint index at Target
+	Label    uint64     // receiver-chosen, unforgeable sender identity
+	Credits  int        // remaining messages; UnlimitedCredits disables
+	MsgSize  int        // max payload bytes per message
+
+	// Receive endpoint registers (the paper's buffer register).
+	BufAddr   int // ringbuffer address in the local SPM
+	SlotSize  int // bytes per slot, including the header
+	SlotCount int // number of slots
+
+	// Memory endpoint registers (the paper's target as memory region).
+	MemTarget noc.NodeID // PE or memory tile owning the region
+	MemAddr   int        // region start at the target
+	MemSize   int        // region length in bytes
+	MemPerms  Perm
+}
+
+// BufSize returns the SPM bytes a receive endpoint's ringbuffer spans.
+func (e *Endpoint) BufSize() int { return e.SlotSize * e.SlotCount }
+
+// epState is the run-time state of an endpoint beyond its registers.
+type epState struct {
+	Endpoint
+
+	// Receive state: arrived but not yet fetched messages (FIFO), and
+	// the number of slots holding fetched-but-unacked messages.
+	arrived  []*Message
+	occupied int
+	nextSlot int
+}
+
+// Message is a received message as the software sees it after fetching
+// it from the ringbuffer.
+type Message struct {
+	// Label identifies the sender; it was chosen by the receiver when
+	// the channel was created and cannot be forged by the sender.
+	Label uint64
+	// Data is the message payload.
+	Data []byte
+
+	// Reply routing, taken from the header. ReplyEP < 0 means the
+	// sender did not permit a reply.
+	ReplyNode  noc.NodeID
+	ReplyEP    int
+	ReplyLabel uint64
+	// CreditEP is the sender's send endpoint whose credit is restored
+	// when the reply arrives.
+	CreditEP int
+
+	slot    int
+	replied bool
+	acked   bool
+}
+
+// CanReply reports whether the sender permitted a direct reply.
+func (m *Message) CanReply() bool { return m.ReplyEP >= 0 }
+
+// Stats counts DTU activity for the evaluation harness.
+type Stats struct {
+	MsgsSent       uint64
+	MsgsReceived   uint64
+	MsgsDropped    uint64
+	Replies        uint64
+	SendsDenied    uint64 // send attempts denied for lack of credits
+	MemReads       uint64
+	MemWrites      uint64
+	BytesRead      uint64
+	BytesWritten   uint64
+	ConfigsApplied uint64
+
+	// IdleCycles accumulates the time the attached core spent waiting
+	// on the DTU — for messages, credits, or transfer completions. The
+	// paper trades this idle time for heterogeneity support (§3.4);
+	// see the utilization experiment.
+	IdleCycles uint64
+}
+
+// pendingOp tracks an outstanding remote operation (RDMA or remote
+// config) awaiting its response packet.
+type pendingOp struct {
+	done *sim.Signal
+	resp *MemResp
+	cfg  *ConfigResp
+}

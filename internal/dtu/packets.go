@@ -1,0 +1,80 @@
+package dtu
+
+import "repro/internal/noc"
+
+// Wire payload types. Besides DTU-to-DTU traffic, the memory request
+// and response types are also understood by the DRAM tile (package
+// tile), which speaks the same RDMA protocol as a DTU-fronted SPM.
+
+// msgPacket carries a message to a receive endpoint.
+type msgPacket struct {
+	TargetEP int
+	Msg      *Message
+}
+
+// replyPacket carries a reply back to the original sender's receive
+// endpoint and restores one credit at its send endpoint.
+type replyPacket struct {
+	TargetEP int
+	CreditEP int
+	Msg      *Message
+}
+
+// creditPacket restores credits at a send endpoint without carrying a
+// message (used when a receiver acks without replying).
+type creditPacket struct {
+	SendEP  int
+	Credits int
+}
+
+// MemReadReq asks the target to return Len bytes starting at Addr.
+type MemReadReq struct {
+	OpID uint64
+	Src  noc.NodeID
+	Addr int
+	Len  int
+}
+
+// MemWriteReq asks the target to store Data at Addr.
+type MemWriteReq struct {
+	OpID uint64
+	Src  noc.NodeID
+	Addr int
+	Data []byte
+}
+
+// MemResp answers a MemReadReq (with Data) or a MemWriteReq (empty
+// Data). A non-empty Err reports an out-of-bounds access.
+type MemResp struct {
+	OpID uint64
+	Data []byte
+	Err  string
+}
+
+// ConfigReq remotely writes an endpoint's registers. Only packets from
+// privileged DTUs are honoured; this is how a kernel PE exercises
+// NoC-level control over application PEs.
+type ConfigReq struct {
+	OpID       uint64
+	Src        noc.NodeID
+	Privileged bool
+
+	EP  int
+	Cfg Endpoint
+
+	// SetPrivilege, when non-zero, up/downgrades the target DTU's
+	// privilege instead of writing an endpoint: +1 upgrades, -1
+	// downgrades (the boot-time downgrade of application PEs).
+	SetPrivilege int
+}
+
+// ConfigResp acknowledges a ConfigReq.
+type ConfigResp struct {
+	OpID uint64
+	Err  string
+}
+
+// wire size helpers: requests and acks are small control packets.
+const ctrlPacketSize = 16
+
+func msgWireSize(payload int) int { return HeaderSize + payload }

@@ -1,0 +1,50 @@
+package kif
+
+// Endpoint conventions between the kernel and libm3. The kernel
+// installs the syscall channel (EP0/EP1) and the call-reply gate (EP2)
+// when it starts a VPE; everything from FirstFreeEP up is multiplexed
+// by libm3 via activate system calls.
+const (
+	// Application-PE endpoints.
+	SyscallEP   = 0 // send gate to the kernel
+	SysReplyEP  = 1 // receive gate for syscall replies
+	CallReplyEP = 2 // receive gate for gate-call replies
+	FirstFreeEP = 3
+
+	// Kernel-PE endpoints.
+	KSyscallEP   = 0 // receive gate for all syscalls
+	KServReplyEP = 1 // receive gate for service-protocol replies
+	KFirstSrvEP  = 2 // send gates to service control gates
+)
+
+// Application SPM layout (data scratchpad). The ringbuffers at the
+// bottom are installed by the kernel at VPE start.
+const (
+	SysReplyBufAddr  = 0
+	SysReplySlotSize = 512 // including the DTU header
+	SysReplySlots    = 2
+
+	CallReplyBufAddr  = SysReplyBufAddr + SysReplySlotSize*SysReplySlots
+	CallReplySlotSize = 512
+	CallReplySlots    = 4
+
+	// RBufSpace is the SPM region libm3 hands out for receive-gate
+	// ringbuffers (half the data SPM; services with many clients need
+	// large request ringbuffers).
+	RBufSpaceBegin = CallReplyBufAddr + CallReplySlotSize*CallReplySlots
+	RBufSpaceEnd   = 32 << 10
+)
+
+// Kernel SPM layout.
+const (
+	KSyscallBufAddr  = 0
+	KSyscallSlotSize = 512
+	KSyscallSlots    = 48
+
+	KServReplyBufAddr  = KSyscallBufAddr + KSyscallSlotSize*KSyscallSlots
+	KServReplySlotSize = 512
+	KServReplySlots    = 16
+)
+
+// MaxMsgSize is the payload limit for syscall and service messages.
+const MaxMsgSize = SysReplySlotSize - 16 // minus the DTU header

@@ -1,0 +1,48 @@
+package kif
+
+import "testing"
+
+// The layout constants are contracts between the kernel and libm3;
+// these tests pin them against the platform's SPM sizes.
+
+func TestAppLayoutFitsSPM(t *testing.T) {
+	const spm = 64 << 10
+	if RBufSpaceEnd > spm {
+		t.Fatalf("ringbuffer space ends at %d, beyond the %d-byte SPM", RBufSpaceEnd, spm)
+	}
+	if SysReplyBufAddr+SysReplySlotSize*SysReplySlots > CallReplyBufAddr {
+		t.Fatal("syscall-reply ringbuffer overlaps the call-reply ringbuffer")
+	}
+	if CallReplyBufAddr+CallReplySlotSize*CallReplySlots > RBufSpaceBegin {
+		t.Fatal("call-reply ringbuffer overlaps the free ringbuffer space")
+	}
+	if RBufSpaceBegin >= RBufSpaceEnd {
+		t.Fatal("no free ringbuffer space")
+	}
+}
+
+func TestKernelLayoutFitsSPM(t *testing.T) {
+	const spm = 64 << 10
+	sysEnd := KSyscallBufAddr + KSyscallSlotSize*KSyscallSlots
+	if sysEnd > KServReplyBufAddr {
+		t.Fatal("kernel syscall ringbuffer overlaps the service-reply ringbuffer")
+	}
+	if KServReplyBufAddr+KServReplySlotSize*KServReplySlots > spm {
+		t.Fatalf("kernel ringbuffers exceed the SPM")
+	}
+}
+
+func TestEndpointConventions(t *testing.T) {
+	if SyscallEP != 0 || SysReplyEP != 1 || CallReplyEP != 2 {
+		t.Fatal("standard endpoint numbering changed; kernel and libm3 disagree")
+	}
+	if FirstFreeEP <= CallReplyEP {
+		t.Fatal("free endpoints overlap the standard ones")
+	}
+	if KFirstSrvEP <= KServReplyEP {
+		t.Fatal("kernel service endpoints overlap its receive endpoints")
+	}
+	if MaxMsgSize >= SysReplySlotSize {
+		t.Fatal("max message size does not leave room for the DTU header")
+	}
+}

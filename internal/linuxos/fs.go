@@ -1,0 +1,167 @@
+package linuxos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// tmpfs is the in-memory filesystem the paper compares m3fs against: a
+// node tree with file contents as real bytes, 4 KiB blocks in the page
+// cache.
+type tmpfs struct {
+	root *tnode
+}
+
+type tnode struct {
+	dir      bool
+	data     []byte
+	children map[string]*tnode
+}
+
+// tmpfsBlock is the tmpfs block size (§5.4: "tmpfs used a block size
+// of 4 KiB").
+const tmpfsBlock = 4096
+
+func newTmpfs() *tmpfs {
+	return &tmpfs{root: &tnode{dir: true, children: map[string]*tnode{}}}
+}
+
+func splitPath(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		if c != "" && c != "." {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// lookup resolves a path; depth counts walked components.
+func (fs *tmpfs) lookup(path string) (*tnode, int, error) {
+	cur := fs.root
+	comps := splitPath(path)
+	for i, c := range comps {
+		if !cur.dir {
+			return nil, i, fmt.Errorf("linuxos: %s: not a directory", path)
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			return nil, i, fmt.Errorf("linuxos: %s: no such file or directory", path)
+		}
+		cur = next
+	}
+	return cur, len(comps), nil
+}
+
+func (fs *tmpfs) parent(path string) (*tnode, string, int, error) {
+	comps := splitPath(path)
+	if len(comps) == 0 {
+		return nil, "", 0, fmt.Errorf("linuxos: invalid path %s", path)
+	}
+	dir, depth, err := fs.lookup(strings.Join(comps[:len(comps)-1], "/"))
+	if err != nil {
+		return nil, "", depth, err
+	}
+	if !dir.dir {
+		return nil, "", depth, fmt.Errorf("linuxos: not a directory")
+	}
+	return dir, comps[len(comps)-1], depth, nil
+}
+
+func (fs *tmpfs) create(path string) (*tnode, int, error) {
+	dir, name, depth, err := fs.parent(path)
+	if err != nil {
+		return nil, depth, err
+	}
+	if n, ok := dir.children[name]; ok {
+		return n, depth, nil
+	}
+	n := &tnode{}
+	dir.children[name] = n
+	return n, depth, nil
+}
+
+func (fs *tmpfs) mkdir(path string) (int, error) {
+	dir, name, depth, err := fs.parent(path)
+	if err != nil {
+		return depth, err
+	}
+	if _, ok := dir.children[name]; ok {
+		return depth, fmt.Errorf("linuxos: %s exists", path)
+	}
+	dir.children[name] = &tnode{dir: true, children: map[string]*tnode{}}
+	return depth, nil
+}
+
+func (fs *tmpfs) unlink(path string) (int, error) {
+	dir, name, depth, err := fs.parent(path)
+	if err != nil {
+		return depth, err
+	}
+	n, ok := dir.children[name]
+	if !ok {
+		return depth, fmt.Errorf("linuxos: %s missing", path)
+	}
+	if n.dir && len(n.children) > 0 {
+		return depth, fmt.Errorf("linuxos: %s not empty", path)
+	}
+	delete(dir.children, name)
+	return depth, nil
+}
+
+func (fs *tmpfs) link(oldPath, newPath string) (int, error) {
+	n, d1, err := fs.lookup(oldPath)
+	if err != nil {
+		return d1, err
+	}
+	if n.dir {
+		return d1, fmt.Errorf("linuxos: %s: cannot link directory", oldPath)
+	}
+	dir, name, d2, err := fs.parent(newPath)
+	if err != nil {
+		return d1 + d2, err
+	}
+	if _, exists := dir.children[name]; exists {
+		return d1 + d2, fmt.Errorf("linuxos: %s exists", newPath)
+	}
+	dir.children[name] = n
+	return d1 + d2, nil
+}
+
+func (fs *tmpfs) rename(oldPath, newPath string) (int, error) {
+	oldDir, oldName, d1, err := fs.parent(oldPath)
+	if err != nil {
+		return d1, err
+	}
+	n, ok := oldDir.children[oldName]
+	if !ok {
+		return d1, fmt.Errorf("linuxos: %s missing", oldPath)
+	}
+	newDir, newName, d2, err := fs.parent(newPath)
+	if err != nil {
+		return d1 + d2, err
+	}
+	if _, exists := newDir.children[newName]; exists {
+		return d1 + d2, fmt.Errorf("linuxos: %s exists", newPath)
+	}
+	delete(oldDir.children, oldName)
+	newDir.children[newName] = n
+	return d1 + d2, nil
+}
+
+func (fs *tmpfs) readdir(path string) ([]string, *tnode, error) {
+	n, _, err := fs.lookup(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !n.dir {
+		return nil, nil, fmt.Errorf("linuxos: %s not a directory", path)
+	}
+	names := make([]string, 0, len(n.children))
+	for c := range n.children {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return names, n, nil
+}

@@ -1,0 +1,244 @@
+package linuxos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func lx(t *testing.T, cold bool) (*sim.Engine, *System) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, New(eng, ProfileXtensa, cold)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	eng, s := lx(t, false)
+	payload := bytes.Repeat([]byte("lx"), 5000)
+	var got []byte
+	s.Spawn("io", func(pr *Proc) {
+		fd, err := pr.Open("/f", OWrite|OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := pr.Write(fd, payload); err != nil {
+			t.Error(err)
+		}
+		if err := pr.Close(fd); err != nil {
+			t.Error(err)
+		}
+		fd, err = pr.Open("/f", ORead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := pr.Read(fd, buf)
+			got = append(got, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		_ = pr.Close(fd)
+	})
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestSyscallCostCharged(t *testing.T) {
+	eng, s := lx(t, false)
+	var took sim.Time
+	s.Spawn("stat", func(pr *Proc) {
+		start := pr.P().Now()
+		_, _ = pr.Stat("/")
+		took = pr.P().Now() - start
+	})
+	eng.Run()
+	if took < ProfileXtensa.SyscallCost {
+		t.Fatalf("stat took %d, want >= syscall cost %d", took, ProfileXtensa.SyscallCost)
+	}
+}
+
+func TestColdCacheSlower(t *testing.T) {
+	run := func(cold bool) sim.Time {
+		eng, s := lx(t, cold)
+		data := make([]byte, 256<<10)
+		var took sim.Time
+		s.Spawn("io", func(pr *Proc) {
+			fd, _ := pr.Open("/f", OWrite|OCreate)
+			_, _ = pr.Write(fd, data)
+			_ = pr.Close(fd)
+			fd, _ = pr.Open("/f", ORead)
+			start := pr.P().Now()
+			buf := make([]byte, 4096)
+			for {
+				if _, err := pr.Read(fd, buf); err != nil {
+					break
+				}
+			}
+			took = pr.P().Now() - start
+			_ = pr.Close(fd)
+		})
+		eng.Run()
+		return took
+	}
+	warm, cold := run(false), run(true)
+	if cold <= warm {
+		t.Fatalf("cold read (%d) must be slower than warm (%d)", cold, warm)
+	}
+	// Cold adds ~0.625 cycles/byte (20 per 32-byte line).
+	extra := float64(cold-warm) / float64(256<<10)
+	if extra < 0.5 || extra > 0.8 {
+		t.Fatalf("cold per-byte overhead = %f, want ~0.625", extra)
+	}
+}
+
+func TestPipeForkTransfer(t *testing.T) {
+	eng, s := lx(t, false)
+	const total = 64 << 10
+	var got int
+	s.Spawn("parent", func(pr *Proc) {
+		rfd, wfd := pr.Pipe()
+		child := pr.Fork("writer", func(ch *Proc) {
+			_ = ch.Close(rfd)
+			chunk := make([]byte, 4096)
+			for i := 0; i < total/len(chunk); i++ {
+				if _, err := ch.Write(wfd, chunk); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			_ = ch.Close(wfd)
+		})
+		_ = pr.Close(wfd)
+		buf := make([]byte, 4096)
+		for {
+			n, err := pr.Read(rfd, buf)
+			got += n
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Error(err)
+				}
+				break
+			}
+		}
+		_ = pr.Close(rfd)
+		pr.Wait(child)
+	})
+	eng.Run()
+	if got != total {
+		t.Fatalf("received %d, want %d", got, total)
+	}
+	if s.Stats.OS == 0 || s.Stats.Xfer == 0 {
+		t.Fatalf("stats not accumulated: %+v", s.Stats)
+	}
+}
+
+func TestPipeBlocksWhenFull(t *testing.T) {
+	eng, s := lx(t, false)
+	// Writer pushes more than the pipe buffer with no reader: it must
+	// block forever (simulation quiesces with the process alive).
+	var wrote int
+	s.Spawn("writer", func(pr *Proc) {
+		_, wfd := pr.Pipe()
+		buf := make([]byte, 32<<10)
+		for i := 0; i < 4; i++ {
+			n, _ := pr.Write(wfd, buf)
+			wrote += n
+		}
+	})
+	eng.Run()
+	if wrote >= 128<<10 {
+		t.Fatalf("writer never blocked (wrote %d)", wrote)
+	}
+	if eng.LiveProcesses() != 1 {
+		t.Fatalf("live = %d, want 1 blocked writer", eng.LiveProcesses())
+	}
+}
+
+func TestMetaOps(t *testing.T) {
+	eng, s := lx(t, false)
+	s.Spawn("meta", func(pr *Proc) {
+		if err := pr.Mkdir("/d"); err != nil {
+			t.Error(err)
+		}
+		fd, err := pr.Open("/d/f", OWrite|OCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = pr.Write(fd, []byte("xyz"))
+		_ = pr.Close(fd)
+		st, err := pr.Stat("/d/f")
+		if err != nil || st.Size != 3 || st.IsDir {
+			t.Errorf("stat = %+v, %v", st, err)
+		}
+		names, err := pr.ReadDir("/d")
+		if err != nil || len(names) != 1 || names[0] != "f" {
+			t.Errorf("readdir = %v, %v", names, err)
+		}
+		if err := pr.Unlink("/d"); err == nil {
+			t.Error("unlink non-empty dir must fail")
+		}
+		if err := pr.Unlink("/d/f"); err != nil {
+			t.Error(err)
+		}
+		if err := pr.Unlink("/d"); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+}
+
+func TestSendfile(t *testing.T) {
+	eng, s := lx(t, false)
+	payload := bytes.Repeat([]byte("tarball!"), 2048)
+	s.Spawn("tar", func(pr *Proc) {
+		fd, _ := pr.Open("/src", OWrite|OCreate)
+		_, _ = pr.Write(fd, payload)
+		_ = pr.Close(fd)
+		src, _ := pr.Open("/src", ORead)
+		dst, _ := pr.Open("/dst", OWrite|OCreate)
+		for {
+			if _, err := pr.Sendfile(dst, src, 64<<10); err != nil {
+				break
+			}
+		}
+		_ = pr.Close(src)
+		_ = pr.Close(dst)
+		st, err := pr.Stat("/dst")
+		if err != nil || st.Size != int64(len(payload)) {
+			t.Errorf("dst stat = %+v, %v", st, err)
+		}
+	})
+	eng.Run()
+	node, _, err := s.fs.lookup("/dst")
+	if err != nil || !bytes.Equal(node.data, payload) {
+		t.Fatal("sendfile corrupted data")
+	}
+}
+
+func TestARMSyscallCheaper(t *testing.T) {
+	measureStat := func(p Profile) sim.Time {
+		eng := sim.NewEngine()
+		s := New(eng, p, false)
+		var took sim.Time
+		s.Spawn("x", func(pr *Proc) {
+			start := pr.P().Now()
+			_, _ = pr.Stat("/")
+			took = pr.P().Now() - start
+		})
+		eng.Run()
+		return took
+	}
+	if xt, arm := measureStat(ProfileXtensa), measureStat(ProfileARM); arm >= xt {
+		t.Fatalf("ARM stat (%d) should be cheaper than Xtensa (%d)", arm, xt)
+	}
+}

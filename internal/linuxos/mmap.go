@@ -1,0 +1,98 @@
+package linuxos
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Mmap-based file copy (§5.4): the paper compared copying a file via
+// mmap on Linux "but do not show it here, because of Linux's bad
+// performance due to cache thrashing between the page fault handling
+// of the kernel and the memcpy of the application". This file models
+// that path so the exclusion can be reproduced: every touched page
+// costs a fault (mode switch + page-table work), and the interleaving
+// of kernel fault handling with user memcpy evicts each other's
+// working set, adding a per-page thrash penalty on top of the plain
+// copy cost.
+
+// Page-fault cost components.
+const (
+	// mmapFaultCost is the mode switch plus page-table and vma work
+	// per minor fault.
+	mmapFaultCost sim.Time = 900
+	mmapPageSize           = 4096
+)
+
+// mmapThrashCost is the extra cache-refill work around every fault:
+// the kernel's fault path and the application's memcpy evict each
+// other's working set, so both re-fill roughly a page worth of lines.
+func mmapThrashCost(p *Profile) sim.Time {
+	lines := mmapPageSize / p.CacheLineSize
+	return 2 * sim.Time(lines) * p.LineFillCost
+}
+
+// Mmap maps the file at path and returns a handle. The mapping itself
+// is one syscall; costs accrue per page on first touch.
+func (pr *Proc) Mmap(path string) (*Mapping, error) {
+	prof := &pr.sys.Prof
+	node, depth, err := pr.sys.fs.lookup(path)
+	pr.charge(KindOS, prof.SyscallCost+prof.FDLookupCost+prof.PathCompCost*sim.Time(depth))
+	if err != nil {
+		return nil, err
+	}
+	if node.dir {
+		return nil, errors.New("linuxos: mmap on directory")
+	}
+	return &Mapping{pr: pr, node: node}, nil
+}
+
+// Mapping is a memory-mapped file.
+type Mapping struct {
+	pr     *Proc
+	node   *tnode
+	faults int
+}
+
+// Len returns the mapped length.
+func (m *Mapping) Len() int { return len(m.node.data) }
+
+// Faults returns the number of page faults taken so far.
+func (m *Mapping) Faults() int { return m.faults }
+
+// CopyTo copies the whole mapping into the (open, written-through)
+// destination mapping, modelling the user-space memcpy loop with
+// demand paging on both sides: a fault per source page, a fault per
+// fresh destination page (plus its zero-fill), the copy itself, and
+// the kernel/user cache thrashing around every fault.
+func (m *Mapping) CopyTo(dst *Mapping) (int, error) {
+	pr := m.pr
+	prof := &pr.sys.Prof
+	n := len(m.node.data)
+	if grow := n - len(dst.node.data); grow > 0 {
+		dst.node.data = append(dst.node.data, make([]byte, grow)...)
+	}
+	pages := (n + mmapPageSize - 1) / mmapPageSize
+	for p := 0; p < pages; p++ {
+		// Source fault + destination fault, each with thrash.
+		pr.charge(KindOS, 2*mmapFaultCost)
+		pr.charge(KindXfer, 2*mmapThrashCost(prof))
+		m.faults++
+		dst.faults++
+		// Zero-fill of the fresh destination page, then the copy.
+		pr.charge(KindXfer, sim.Time(float64(mmapPageSize)*prof.ZeroFillPerByte))
+		lo := p * mmapPageSize
+		hi := lo + mmapPageSize
+		if hi > n {
+			hi = n
+		}
+		copy(dst.node.data[lo:hi], m.node.data[lo:hi])
+		pr.charge(KindXfer, pr.sys.copyCost(hi-lo))
+	}
+	return n, nil
+}
+
+// Unmap releases the mapping (one syscall).
+func (m *Mapping) Unmap() {
+	m.pr.charge(KindOS, m.pr.sys.Prof.SyscallCost)
+}

@@ -1,0 +1,85 @@
+package linuxos
+
+import (
+	"io"
+
+	"repro/internal/sim"
+)
+
+// pipeBuf is a kernel pipe buffer: reader and writer copy through it
+// with syscalls and block when it runs empty/full, forcing context
+// switches on the shared core — the cost M3 avoids by placing reader
+// and writer on separate PEs.
+type pipeBuf struct {
+	sys         *System
+	data        []byte
+	max         int
+	readClosed  bool
+	writeClosed bool
+	changed     *sim.Signal
+}
+
+// Pipe creates a pipe and returns (readFD, writeFD).
+func (pr *Proc) Pipe() (int, int) {
+	pr.charge(KindOS, pr.sys.Prof.SyscallCost)
+	pb := &pipeBuf{sys: pr.sys, max: pr.sys.Prof.PipeBufSize, changed: sim.NewSignal(pr.sys.Eng)}
+	r := &fdesc{pipe: pb, read: true, refs: 1}
+	w := &fdesc{pipe: pb, refs: 1}
+	rfd, wfd := pr.nextFD, pr.nextFD+1
+	pr.nextFD += 2
+	pr.fds[rfd] = r
+	pr.fds[wfd] = w
+	return rfd, wfd
+}
+
+func (pb *pipeBuf) closeEnd(read bool) {
+	if read {
+		pb.readClosed = true
+	} else {
+		pb.writeClosed = true
+	}
+	pb.changed.Broadcast()
+}
+
+func (pr *Proc) pipeRead(f *fdesc, buf []byte) (int, error) {
+	prof := &pr.sys.Prof
+	pb := f.pipe
+	pr.charge(KindOS, prof.SyscallCost+prof.FDLookupCost)
+	for len(pb.data) == 0 {
+		if pb.writeClosed {
+			return 0, io.EOF
+		}
+		// Block outside the CPU: the writer runs meanwhile.
+		pb.changed.Wait(pr.p)
+	}
+	n := copy(buf, pb.data)
+	pb.data = pb.data[n:]
+	pr.charge(KindXfer, pr.sys.copyCost(n))
+	pb.changed.Broadcast()
+	return n, nil
+}
+
+func (pr *Proc) pipeWrite(f *fdesc, buf []byte) (int, error) {
+	prof := &pr.sys.Prof
+	pb := f.pipe
+	pr.charge(KindOS, prof.SyscallCost+prof.FDLookupCost)
+	total := 0
+	for len(buf) > 0 {
+		for len(pb.data) >= pb.max {
+			if pb.readClosed {
+				return total, io.ErrClosedPipe
+			}
+			pb.changed.Wait(pr.p)
+		}
+		n := pb.max - len(pb.data)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		pb.data = append(pb.data, buf[:n]...)
+		pr.charge(KindXfer, pr.sys.copyCost(n))
+		pb.changed.Broadcast()
+		buf = buf[n:]
+		total += n
+	}
+	return total, nil
+}

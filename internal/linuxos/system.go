@@ -1,0 +1,148 @@
+package linuxos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CostKind classifies charged cycles for the evaluation's stacked bars.
+type CostKind int
+
+// Cost categories.
+const (
+	// KindOS is operating-system overhead (syscall entry, fd lookup,
+	// page cache, scheduling).
+	KindOS CostKind = iota
+	// KindXfer is data movement (memcpy, zero-fill, cache-line fills).
+	KindXfer
+	// KindApp is application compute.
+	KindApp
+)
+
+// Stats accumulates cycles per category.
+type Stats struct {
+	OS   sim.Time
+	Xfer sim.Time
+	App  sim.Time
+}
+
+// Total returns the sum of all categories.
+func (s Stats) Total() sim.Time { return s.OS + s.Xfer + s.App }
+
+// System is one simulated Linux machine: a single time-shared core, a
+// tmpfs, and pipes.
+type System struct {
+	Eng  *sim.Engine
+	Prof Profile
+	// ColdCache selects the Lx variant (cache misses on touched data);
+	// false is Lx-$ (§5.1).
+	ColdCache bool
+
+	cpu      *sim.Resource
+	lastProc *Proc
+	fs       *tmpfs
+
+	Stats Stats
+}
+
+// New creates a Linux system on the engine.
+func New(eng *sim.Engine, prof Profile, coldCache bool) *System {
+	return &System{
+		Eng:       eng,
+		Prof:      prof,
+		ColdCache: coldCache,
+		cpu:       sim.NewResource(eng, 1),
+		fs:        newTmpfs(),
+	}
+}
+
+// Proc is one Linux process.
+type Proc struct {
+	sys    *System
+	p      *sim.Process
+	name   string
+	fds    map[int]*fdesc
+	nextFD int
+}
+
+// Spawn starts a process running main. The initial process of a
+// benchmark is created this way; children come from Fork.
+func (s *System) Spawn(name string, main func(*Proc)) *sim.Process {
+	pr := &Proc{sys: s, name: name, fds: make(map[int]*fdesc), nextFD: 3}
+	return s.Eng.Spawn("lx/"+name, func(p *sim.Process) {
+		pr.p = p
+		main(pr)
+	})
+}
+
+// P returns the underlying simulation process.
+func (pr *Proc) P() *sim.Process { return pr.p }
+
+// charge runs cost cycles on the CPU, accounting them to kind and
+// adding a context-switch penalty when the CPU changes hands.
+func (pr *Proc) charge(kind CostKind, cost sim.Time) {
+	s := pr.sys
+	s.cpu.Acquire(pr.p, 1)
+	var extra sim.Time
+	if s.lastProc != pr && s.lastProc != nil {
+		extra = s.Prof.ContextSwitchCost
+		s.Stats.OS += extra
+	}
+	s.lastProc = pr
+	switch kind {
+	case KindOS:
+		s.Stats.OS += cost
+	case KindXfer:
+		s.Stats.Xfer += cost
+	case KindApp:
+		s.Stats.App += cost
+	}
+	pr.p.Sleep(cost + extra)
+	s.cpu.Release(1)
+}
+
+// Compute models application work.
+func (pr *Proc) Compute(cycles sim.Time) { pr.charge(KindApp, cycles) }
+
+// copyCost returns the cycles to copy n bytes, including cache-line
+// fills in the cold variant.
+func (s *System) copyCost(n int) sim.Time {
+	c := sim.Time(float64(n) / s.Prof.MemcpyBytesPerCycle)
+	if s.ColdCache {
+		lines := (n + s.Prof.CacheLineSize - 1) / s.Prof.CacheLineSize
+		c += sim.Time(lines) * s.Prof.LineFillCost
+	}
+	return c
+}
+
+// Fork creates a child process running main, charging the fork cost.
+// It returns the child's simulation process for Wait.
+func (pr *Proc) Fork(name string, main func(*Proc)) *sim.Process {
+	pr.charge(KindOS, pr.sys.Prof.SyscallCost+pr.sys.Prof.ForkCost)
+	child := &Proc{sys: pr.sys, name: name, fds: make(map[int]*fdesc), nextFD: pr.nextFD}
+	// Children inherit the parent's file descriptors (shared offsets,
+	// like after fork).
+	for fd, f := range pr.fds {
+		f.refs++
+		child.fds[fd] = f
+	}
+	return pr.sys.Eng.Spawn("lx/"+name, func(p *sim.Process) {
+		child.p = p
+		main(child)
+	})
+}
+
+// Exec charges the cost of loading a new executable of the given size.
+func (pr *Proc) Exec(size int) {
+	pr.charge(KindOS, pr.sys.Prof.SyscallCost+pr.sys.Prof.ExecBaseCost)
+	pr.charge(KindXfer, pr.sys.copyCost(size))
+}
+
+// Wait joins another process (wait4).
+func (pr *Proc) Wait(child *sim.Process) {
+	pr.charge(KindOS, pr.sys.Prof.SyscallCost)
+	pr.p.Join(child)
+}
+
+func (pr *Proc) String() string { return fmt.Sprintf("lxproc(%s)", pr.name) }

@@ -1,0 +1,41 @@
+package m3
+
+import "repro/internal/sim"
+
+// Client-side cycle costs. Together with the kernel costs in package
+// core they calibrate the null system call to the paper's ~200 cycles
+// (§5.3) and the file fast path to ~70 cycles to reach the read
+// function plus ~90 cycles to determine the location (§5.4).
+const (
+	// CostSysMarshal covers building the request and programming the
+	// DTU send registers.
+	CostSysMarshal sim.Time = 55
+	// CostSysUnmarshal covers fetching and decoding the reply.
+	CostSysUnmarshal sim.Time = 30
+
+	// CostCallMarshal/Unmarshal are the same for service gate calls.
+	CostCallMarshal   sim.Time = 55
+	CostCallUnmarshal sim.Time = 30
+
+	// CostMemOp is the DTU programming cost of a memory-gate transfer.
+	CostMemOp sim.Time = 15
+
+	// CostFileEnter models reaching the read/write function through the
+	// POSIX-like API (~70 cycles in the paper).
+	CostFileEnter sim.Time = 70
+	// CostFileLocate models determining the position within the already
+	// obtained extents (~90 cycles in the paper).
+	CostFileLocate sim.Time = 90
+
+	// CostVFSComponent is charged per path component for mount-table
+	// and path handling in libm3.
+	CostVFSComponent sim.Time = 20
+
+	// CostPipeOp models the libm3 pipe bookkeeping per chunk.
+	CostPipeOp sim.Time = 60
+)
+
+// CloneImageSize is the number of bytes VPE.Run transfers to the target
+// PE: code, static data, used heap, and stack (§4.5.5). The prototype
+// SPMs hold 64 KiB; a typical image uses half.
+const CloneImageSize = 32 << 10

@@ -1,0 +1,235 @@
+// Package m3 is libm3: the library applications program against. It
+// wraps the DTU and the kernel protocol in lightweight abstractions —
+// gates, virtual PEs, files, and pipes — "rather than a
+// POSIX-compliant environment" (§4.5.2).
+package m3
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/kif"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// Env is the per-program library state: selector allocation, endpoint
+// multiplexing, the mount table, and the syscall channel (installed by
+// the kernel on EP0/EP1 before the program started).
+type Env struct {
+	Ctx  *tile.Ctx
+	Kern *core.Kernel
+	Args []string
+
+	nextSel   kif.CapSel
+	nextLabel uint64
+	eps       *epManager
+	rbufNext  int
+	exitCode  int64
+
+	// stashed call replies that arrived on the call-reply endpoint
+	// while waiting for a different label (pipes interleaving with
+	// service calls).
+	stash map[uint64]*dtu.Message
+
+	VFS *VFS
+}
+
+// NewEnv creates the library state for the program running in ctx. The
+// kernel reference stands in for the boot environment block the real
+// kernel writes into the PE's memory.
+func NewEnv(ctx *tile.Ctx, kern *core.Kernel, args ...string) *Env {
+	e := &Env{
+		Ctx:      ctx,
+		Kern:     kern,
+		Args:     args,
+		nextSel:  1,
+		rbufNext: kif.RBufSpaceBegin,
+		stash:    make(map[uint64]*dtu.Message),
+	}
+	e.eps = newEPManager(e)
+	e.VFS = NewVFS(e)
+	return e
+}
+
+// P returns the program's simulation process.
+func (e *Env) P() *sim.Process { return e.Ctx.P }
+
+// DTU returns the PE's data transfer unit.
+func (e *Env) DTU() *dtu.DTU { return e.Ctx.PE.DTU }
+
+// AllocSel returns a fresh capability selector.
+func (e *Env) AllocSel() kif.CapSel {
+	s := e.nextSel
+	e.nextSel++
+	return s
+}
+
+// AllocSels returns the first of n consecutive fresh selectors.
+func (e *Env) AllocSels(n uint64) kif.CapSel {
+	s := e.nextSel
+	e.nextSel += kif.CapSel(n)
+	return s
+}
+
+func (e *Env) allocLabel() uint64 {
+	e.nextLabel++
+	return e.nextLabel
+}
+
+// allocRBuf reserves SPM space for a receive-gate ringbuffer.
+func (e *Env) allocRBuf(size int) (int, error) {
+	if e.rbufNext+size > kif.RBufSpaceEnd {
+		return 0, fmt.Errorf("m3: out of ringbuffer space (%d + %d > %d)",
+			e.rbufNext, size, kif.RBufSpaceEnd)
+	}
+	a := e.rbufNext
+	e.rbufNext += size
+	return a, nil
+}
+
+// Syscall sends a request to the kernel over the DTU and waits for the
+// reply: the paper's replacement for the mode switch. The returned
+// stream is positioned after the error code.
+func (e *Env) Syscall(req *kif.OStream) (*kif.IStream, error) {
+	e.Ctx.Compute(CostSysMarshal)
+	d := e.DTU()
+	if err := d.Send(e.P(), kif.SyscallEP, req.Bytes(), kif.SysReplyEP, 0); err != nil {
+		return nil, fmt.Errorf("m3: syscall send: %w", err)
+	}
+	msg, _ := d.WaitMsg(e.P(), kif.SysReplyEP)
+	e.Ctx.Compute(CostSysUnmarshal)
+	is := kif.NewIStream(msg.Data)
+	kerr := is.ErrCode()
+	d.Ack(kif.SysReplyEP, msg)
+	if kerr != kif.OK {
+		return nil, kerr
+	}
+	return is, nil
+}
+
+// Noop performs the null system call (Figure 3 micro-benchmark).
+func (e *Env) Noop() error {
+	var o kif.OStream
+	o.Op(kif.SysNoop)
+	_, err := e.Syscall(&o)
+	return err
+}
+
+// Exit reports the program's exit code to the kernel; no reply is
+// expected. Program wrappers call it automatically when the program
+// function returns.
+func (e *Env) Exit(code int64) {
+	var o kif.OStream
+	o.Op(kif.SysExit).I64(code)
+	e.Ctx.Compute(CostSysMarshal)
+	// Best effort: an exiting program cannot do anything about errors.
+	_ = e.DTU().Send(e.P(), kif.SyscallEP, o.Bytes(), -1, 0)
+}
+
+// ReqMem asks the kernel for a DRAM region and returns a memory gate
+// for it.
+func (e *Env) ReqMem(size int, perms dtu.Perm) (*MemGate, error) {
+	sel := e.AllocSel()
+	var o kif.OStream
+	o.Op(kif.SysReqMem).Sel(sel).U64(uint64(size)).U64(uint64(perms))
+	if _, err := e.Syscall(&o); err != nil {
+		return nil, err
+	}
+	return e.MemGateAt(sel, size), nil
+}
+
+// Revoke undoes all grants of the capability at sel recursively.
+func (e *Env) Revoke(sel kif.CapSel) error {
+	var o kif.OStream
+	o.Op(kif.SysRevoke).Sel(sel)
+	_, err := e.Syscall(&o)
+	return err
+}
+
+// OpenSess opens a session at the named service. The kernel forwards
+// the request to the service, which may deny it.
+func (e *Env) OpenSess(name, arg string) (kif.CapSel, error) {
+	sel := e.AllocSel()
+	var o kif.OStream
+	o.Op(kif.SysOpenSess).Sel(sel).Str(name).Str(arg)
+	if _, err := e.Syscall(&o); err != nil {
+		return kif.InvalidSel, err
+	}
+	return sel, nil
+}
+
+// ExchangeSess performs a session-scoped capability exchange: obtain
+// pulls capCount capabilities chosen by the service into selectors
+// starting at caps; delegate pushes the caller's. It returns the
+// service's answer arguments.
+func (e *Env) ExchangeSess(sess kif.CapSel, obtain bool, caps kif.CapSel, capCount uint64, args []byte) ([]byte, error) {
+	var o kif.OStream
+	o.Op(kif.SysExchangeSess).Sel(sess)
+	if obtain {
+		o.U64(1)
+	} else {
+		o.U64(0)
+	}
+	o.Sel(caps).U64(capCount).Blob(args)
+	is, err := e.Syscall(&o)
+	if err != nil {
+		return nil, err
+	}
+	return is.Blob(), nil
+}
+
+// Delegate grants count capabilities starting at mine to the VPE whose
+// capability the caller holds at vpeSel, placing them at theirs.
+func (e *Env) Delegate(vpeSel, mine, theirs kif.CapSel, count uint64) error {
+	var o kif.OStream
+	o.Op(kif.SysDelegate).Sel(vpeSel).Sel(mine).Sel(theirs).U64(count)
+	_, err := e.Syscall(&o)
+	return err
+}
+
+// Obtain pulls count capabilities from the peer VPE's selectors
+// starting at theirs into the caller's table at mine.
+func (e *Env) Obtain(vpeSel, mine, theirs kif.CapSel, count uint64) error {
+	var o kif.OStream
+	o.Op(kif.SysObtain).Sel(vpeSel).Sel(mine).Sel(theirs).U64(count)
+	_, err := e.Syscall(&o)
+	return err
+}
+
+// recvReply waits for a call reply with the given label on the
+// call-reply endpoint, stashing replies that belong to other labels
+// (e.g. pipe acknowledgements arriving between service calls).
+func (e *Env) recvReply(label uint64) *dtu.Message {
+	if m, ok := e.stash[label]; ok {
+		delete(e.stash, label)
+		return m
+	}
+	d := e.DTU()
+	for {
+		msg, _ := d.WaitMsg(e.P(), kif.CallReplyEP)
+		if msg.Label == label {
+			return msg
+		}
+		e.stash[msg.Label] = msg
+	}
+}
+
+// tryRecvReply returns a stashed or pending reply for label without
+// blocking.
+func (e *Env) tryRecvReply(label uint64) *dtu.Message {
+	if m, ok := e.stash[label]; ok {
+		delete(e.stash, label)
+		return m
+	}
+	d := e.DTU()
+	for d.HasMsg(kif.CallReplyEP) {
+		msg := d.Fetch(kif.CallReplyEP)
+		if msg.Label == label {
+			return msg
+		}
+		e.stash[msg.Label] = msg
+	}
+	return nil
+}

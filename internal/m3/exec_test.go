@@ -1,0 +1,116 @@
+package m3_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kif"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+)
+
+// wcMain is the "executable" used by the exec tests: it counts the
+// bytes of the file named in its first argument and reports the count
+// as its exit code.
+func wcMain(env *m3.Env) {
+	if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+		env.SetExit(-1)
+		return
+	}
+	if len(env.Args) != 1 {
+		env.SetExit(-2)
+		return
+	}
+	data, err := env.VFS.ReadFile(env.Args[0])
+	if err != nil {
+		env.SetExit(-3)
+		return
+	}
+	env.SetExit(int64(len(data)))
+}
+
+func init() {
+	m3.RegisterProgram("/bin/wc", wcMain)
+}
+
+// TestExecFromFilesystem exercises the exec path of §4.5.5: the parent
+// loads an executable from m3fs onto the child PE (paying for the real
+// byte transfer) and runs it with arguments.
+func TestExecFromFilesystem(t *testing.T) {
+	s := newSystem(t, 4)
+	s.app(t, "shell", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		// Install the "binary" (16 KiB of code bytes) and an input file.
+		if err := env.VFS.Mkdir("/bin"); err != nil {
+			t.Error(err)
+			return
+		}
+		binary := []byte(strings.Repeat("code", 4096))
+		if err := env.VFS.WriteFile("/bin/wc", binary); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/input.txt", []byte("count these 23 bytes ok")); err != nil {
+			t.Error(err)
+			return
+		}
+		vpe, err := env.NewVPE("wc", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := env.Ctx.Now()
+		if err := vpe.Exec("/bin/wc", "/input.txt"); err != nil {
+			t.Error(err)
+			return
+		}
+		loadTime := env.Ctx.Now() - start
+		code, err := vpe.Wait()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if code != 23 {
+			t.Errorf("wc exit code = %d, want 23", code)
+		}
+		// Exec transfers the binary's bytes: at least 16 KiB through
+		// the DTU (2 KiB/cycle would be impossible; 8 B/cycle gives a
+		// floor of 2048 cycles for the copy alone).
+		if loadTime < 2048 {
+			t.Errorf("exec took %d cycles, too fast for a 16 KiB load", loadTime)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestExecMissingProgram(t *testing.T) {
+	s := newSystem(t, 4)
+	s.app(t, "shell", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		vpe, err := env.NewVPE("x", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Not registered at all.
+		if err := vpe.Exec("/bin/none"); err == nil {
+			t.Error("exec of unregistered program must fail")
+		}
+		// Registered but no file behind the path.
+		m3.RegisterProgram("/bin/ghost", func(*m3.Env) {})
+		if err := vpe.Exec("/bin/ghost"); !errors.Is(err, kif.ErrNoSuchFile) {
+			t.Errorf("exec without executable file: %v, want ErrNoSuchFile", err)
+		}
+		if _, ok := m3.LookupProgram("/bin/wc"); !ok {
+			t.Error("registered program not found")
+		}
+	})
+	s.eng.Run()
+}

@@ -1,0 +1,198 @@
+package m3_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+)
+
+// File-semantics tests: overwrite-in-place, append mode, readdir
+// pagination, fstat — the POSIX-like behaviours libm3 promises on top
+// of the capability protocol.
+
+func TestOverwriteInPlace(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "overwrite", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		base := bytes.Repeat([]byte{'.'}, 8192)
+		if err := env.VFS.WriteFile("/f", base); err != nil {
+			t.Error(err)
+			return
+		}
+		// Re-open WITHOUT truncation and patch the middle.
+		f, err := env.VFS.Open("/f", m3.OpenRW)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Seek(4000, m3.SeekStart); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.Write([]byte("PATCH")); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		got, err := env.VFS.ReadFile("/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(got) != 8192 {
+			t.Errorf("size changed to %d after in-place write", len(got))
+			return
+		}
+		if string(got[4000:4005]) != "PATCH" {
+			t.Errorf("patch missing: %q", got[3998:4008])
+		}
+		if got[3999] != '.' || got[4005] != '.' {
+			t.Error("overwrite damaged neighbours")
+		}
+		// Size and extent count unchanged: the overwrite stayed in the
+		// existing allocation.
+		st, err := env.VFS.Stat("/f")
+		if err != nil || st.Size != 8192 || st.Extents != 1 {
+			t.Errorf("stat after overwrite = %+v, %v", st, err)
+		}
+	})
+	s.eng.Run()
+	if err := s.fs.FS().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenAppendMode(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "append", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/log", []byte("first\n")); err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := env.VFS.Open("/log", m3.OpenWrite|m3.OpenAppend)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Write([]byte("second\n")); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		got, err := env.VFS.ReadFile("/log")
+		if err != nil || string(got) != "first\nsecond\n" {
+			t.Errorf("log = %q, %v", got, err)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestReadDirPagination(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "pagination", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.Mkdir("/many"); err != nil {
+			t.Error(err)
+			return
+		}
+		// 23 entries: three chunks of the service's 8-entry pages.
+		for i := 0; i < 23; i++ {
+			if err := env.VFS.WriteFile(fmt.Sprintf("/many/f%02d", i), []byte("x")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		ents, err := env.VFS.ReadDir("/many")
+		if err != nil || len(ents) != 23 {
+			t.Errorf("readdir = %d entries, %v", len(ents), err)
+			return
+		}
+		// Sorted and complete.
+		for i := 1; i < len(ents); i++ {
+			if ents[i].Name <= ents[i-1].Name {
+				t.Errorf("entries not sorted: %q after %q", ents[i].Name, ents[i-1].Name)
+			}
+		}
+	})
+	s.eng.Run()
+}
+
+func TestFstatOnOpenFile(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "fstat", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		f, err := env.VFS.Open("/x", m3.OpenWrite|m3.OpenCreate)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Write(make([]byte, 2000)); err != nil {
+			t.Error(err)
+		}
+		// fstat before close: the service reports the inode's current
+		// size (writes update it at close; size tracked client-side
+		// until then).
+		st, err := f.Stat()
+		if err != nil {
+			t.Error(err)
+		}
+		if st.Ino == 0 {
+			t.Error("fstat has no inode number")
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		st2, err := env.VFS.Stat("/x")
+		if err != nil || st2.Size != 2000 {
+			t.Errorf("stat after close = %+v, %v", st2, err)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestTruncateReopenShrinks(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "shrink", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/f", make([]byte, 100<<10)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/f", []byte("short")); err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := env.VFS.Stat("/f")
+		if err != nil || st.Size != 5 {
+			t.Errorf("stat = %+v, %v", st, err)
+		}
+		got, err := env.VFS.ReadFile("/f")
+		if err != nil || string(got) != "short" {
+			t.Errorf("content = %q, %v", got, err)
+		}
+	})
+	s.eng.Run()
+	if err := s.fs.FS().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package m3_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kif"
+	"repro/internal/m3"
+)
+
+// TestKernelSurvivesGarbageSyscalls injects random bytes into the
+// syscall channel. The kernel must answer every garbage message with
+// an error (or ignore it) and keep serving: after the storm, a valid
+// null syscall still works. This is the failure-injection counterpart
+// of the protocol tests.
+func TestKernelSurvivesGarbageSyscalls(t *testing.T) {
+	s := newSystem(t, 3)
+	rng := rand.New(rand.NewSource(42))
+	s.app(t, "fuzzer", func(env *m3.Env) {
+		d := env.DTU()
+		for i := 0; i < 200; i++ {
+			n := rng.Intn(96)
+			payload := make([]byte, n)
+			rng.Read(payload)
+			if err := d.Send(env.P(), kif.SyscallEP, payload, kif.SysReplyEP, 0); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			msg, _ := d.WaitMsg(env.P(), kif.SysReplyEP)
+			d.Ack(kif.SysReplyEP, msg)
+		}
+		// The kernel is still alive and sane.
+		if err := env.Noop(); err != nil {
+			t.Errorf("noop after fuzzing: %v", err)
+		}
+	})
+	s.eng.Run()
+}
+
+// TestKernelSurvivesTruncatedOpcodes sends messages shorter than one
+// opcode.
+func TestKernelSurvivesTruncatedOpcodes(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "trunc", func(env *m3.Env) {
+		d := env.DTU()
+		for _, n := range []int{0, 1, 3, 7} {
+			if err := d.Send(env.P(), kif.SyscallEP, make([]byte, n), kif.SysReplyEP, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			msg, _ := d.WaitMsg(env.P(), kif.SysReplyEP)
+			is := kif.NewIStream(msg.Data)
+			if e := is.ErrCode(); e == kif.OK {
+				t.Errorf("truncated syscall (%d bytes) succeeded", n)
+			}
+			d.Ack(kif.SysReplyEP, msg)
+		}
+		if err := env.Noop(); err != nil {
+			t.Error(err)
+		}
+	})
+	s.eng.Run()
+}
+
+// TestKernelSurvivesValidOpcodeGarbageArgs sends every known opcode
+// followed by random argument bytes.
+func TestKernelSurvivesValidOpcodeGarbageArgs(t *testing.T) {
+	s := newSystem(t, 3)
+	rng := rand.New(rand.NewSource(7))
+	ops := []kif.SyscallOp{
+		kif.SysCreateVPE, kif.SysVPEStart, kif.SysVPEWait, kif.SysReqMem,
+		kif.SysDeriveMem, kif.SysCreateRGate, kif.SysCreateSGate,
+		kif.SysActivate, kif.SysCreateSrv, kif.SysOpenSess,
+		kif.SysExchangeSess, kif.SysDelegate, kif.SysObtain, kif.SysRevoke,
+		kif.SyscallOp(777), // unknown opcode
+	}
+	s.app(t, "argfuzz", func(env *m3.Env) {
+		d := env.DTU()
+		for round := 0; round < 8; round++ {
+			for _, op := range ops {
+				var o kif.OStream
+				o.Op(op)
+				garbage := make([]byte, rng.Intn(80))
+				rng.Read(garbage)
+				payload := append(o.Bytes(), garbage...)
+				if err := d.Send(env.P(), kif.SyscallEP, payload, kif.SysReplyEP, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				msg, _ := d.WaitMsg(env.P(), kif.SysReplyEP)
+				d.Ack(kif.SysReplyEP, msg)
+			}
+		}
+		if err := env.Noop(); err != nil {
+			t.Errorf("noop after arg fuzzing: %v", err)
+		}
+		// And the system still boots VPEs and serves files.
+		if _, err := env.NewVPE("probe", ""); err == nil {
+			t.Log("vpe creation still works")
+		}
+	})
+	s.eng.Run()
+}

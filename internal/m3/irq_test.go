@@ -1,0 +1,203 @@
+package m3_test
+
+import (
+	"testing"
+
+	"repro/internal/m3"
+	"repro/internal/sim"
+)
+
+func TestTimerInterruptsAsMessages(t *testing.T) {
+	s := newSystem(t, 4)
+	var ticks []m3.TimerTick
+	var gaps []sim.Time
+	s.app(t, "handler", func(env *m3.Env) {
+		ig, devSG, err := m3.NewInterruptGate(env, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dev, err := env.NewVPE("timer", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Delegate(devSG, 400, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Run(m3.TimerDevice(400, 10000, 5)); err != nil {
+			t.Error(err)
+			return
+		}
+		var last sim.Time
+		for i := 0; i < 5; i++ {
+			tick, err := ig.Wait()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ticks = append(ticks, tick)
+			if last != 0 {
+				gaps = append(gaps, env.Ctx.Now()-last)
+			}
+			last = env.Ctx.Now()
+		}
+		if _, err := dev.Wait(); err != nil {
+			t.Error(err)
+		}
+	})
+	s.eng.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("ticks = %d, want 5", len(ticks))
+	}
+	for i, tick := range ticks {
+		if tick.Seq != uint64(i) {
+			t.Fatalf("tick %d has seq %d", i, tick.Seq)
+		}
+	}
+	// The inter-arrival time equals the timer interval.
+	for _, g := range gaps {
+		if g < 9900 || g > 10200 {
+			t.Fatalf("tick gap = %d cycles, want ~10000", g)
+		}
+	}
+}
+
+func TestInterruptStormDropsNotBlocks(t *testing.T) {
+	s := newSystem(t, 4)
+	var received int
+	var deviceDone sim.Time
+	s.app(t, "handler", func(env *m3.Env) {
+		// Only 2 credits/slots and a very fast timer: most ticks are
+		// coalesced away while the handler sleeps.
+		ig, devSG, err := m3.NewInterruptGate(env, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dev, err := env.NewVPE("timer", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Delegate(devSG, 400, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Run(m3.TimerDevice(400, 50, 100)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Sleep through the storm, then drain what is pending.
+		env.P().Sleep(100 * 50 * 2)
+		for {
+			if _, ok := ig.TryWait(); !ok {
+				break
+			}
+			received++
+		}
+		if _, err := dev.Wait(); err != nil {
+			t.Error(err)
+		}
+		deviceDone = env.Ctx.Now()
+	})
+	s.eng.Run()
+	if received == 0 || received > 2 {
+		t.Fatalf("received %d pending interrupts, want 1..2 (rest coalesced)", received)
+	}
+	if deviceDone == 0 {
+		t.Fatal("device blocked on the slow handler instead of dropping ticks")
+	}
+}
+
+func TestInterruptInterposition(t *testing.T) {
+	s := newSystem(t, 5)
+	var observed []uint64
+	var final []uint64
+	s.app(t, "handler", func(env *m3.Env) {
+		// Final handler gate.
+		ig, proxySG, err := m3.NewInterruptGate(env, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Proxy VPE: owns its own gate, forwards to the handler.
+		proxy, err := env.NewVPE("proxy", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := proxy.Delegate(proxySG, 401, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := proxy.Run(func(penv *m3.Env) {
+			pig, devSG, err := m3.NewInterruptGate(penv, 4)
+			if err != nil {
+				penv.SetExit(1)
+				return
+			}
+			// The proxy hands the device gate back to the parent via
+			// fixed selectors; the parent obtains it and passes it to
+			// the device. Simpler here: the proxy starts the device
+			// itself (it received no VPE caps, so the parent starts
+			// it; instead the proxy exposes its device gate).
+			// Deterministic selector order: rgate=1, sgate=2.
+			_ = devSG
+			if err := m3.InterruptProxy(penv, pig, 401, 3, func(t m3.TimerTick) {
+				observed = append(observed, t.Seq)
+			}); err != nil {
+				penv.SetExit(1)
+			}
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Obtain the proxy's device-facing send gate (selector 2 in
+		// the proxy's deterministic allocation order).
+		devSG := env.AllocSel()
+		for {
+			if err := proxy.Obtain(devSG, 2, 1); err == nil {
+				break
+			}
+			env.P().Sleep(500)
+		}
+		dev, err := env.NewVPE("timer", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Delegate(devSG, 400, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dev.Run(m3.TimerDevice(400, 5000, 3)); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			tick, err := ig.Wait()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			final = append(final, tick.Seq)
+		}
+		if _, err := dev.Wait(); err != nil {
+			t.Error(err)
+		}
+		if code, err := proxy.Wait(); err != nil || code != 0 {
+			t.Errorf("proxy exit = %d, %v", code, err)
+		}
+	})
+	s.eng.Run()
+	if len(observed) != 3 || len(final) != 3 {
+		t.Fatalf("observed %d, final %d, want 3 each", len(observed), len(final))
+	}
+	for i := 0; i < 3; i++ {
+		if observed[i] != uint64(i) || final[i] != uint64(i) {
+			t.Fatalf("interposition order broken: %v / %v", observed, final)
+		}
+	}
+}

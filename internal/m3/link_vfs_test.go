@@ -1,0 +1,92 @@
+package m3_test
+
+import (
+	"testing"
+
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+)
+
+// Full-stack hard links and renames: through the VFS, the m3fs client,
+// the kernel-mediated session, and the service.
+func TestLinkRenameThroughVFS(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "links", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/orig", []byte("shared-bytes")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.Link("/orig", "/alias"); err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := env.VFS.Stat("/alias")
+		if err != nil || st.Size != 12 || st.Links != 2 {
+			t.Errorf("alias stat = %+v, %v; want size 12, links 2", st, err)
+		}
+		// Reading through the alias sees the same bytes.
+		got, err := env.VFS.ReadFile("/alias")
+		if err != nil || string(got) != "shared-bytes" {
+			t.Errorf("alias content = %q, %v", got, err)
+		}
+		// Unlink the original; the alias survives.
+		if err := env.VFS.Unlink("/orig"); err != nil {
+			t.Error(err)
+		}
+		if got, err := env.VFS.ReadFile("/alias"); err != nil || string(got) != "shared-bytes" {
+			t.Errorf("after unlink: %q, %v", got, err)
+		}
+		// Rename the alias.
+		if err := env.VFS.Mkdir("/dir"); err != nil {
+			t.Error(err)
+		}
+		if err := env.VFS.Rename("/alias", "/dir/final"); err != nil {
+			t.Error(err)
+		}
+		if _, err := env.VFS.Stat("/alias"); err == nil {
+			t.Error("old name still resolves after rename")
+		}
+		if got, err := env.VFS.ReadFile("/dir/final"); err != nil || string(got) != "shared-bytes" {
+			t.Errorf("after rename: %q, %v", got, err)
+		}
+	})
+	s.eng.Run()
+	if err := s.fs.FS().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkAcrossMountsRefused: link/rename cannot span filesystems.
+func TestLinkAcrossMountsRefused(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "cross", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		pfs := m3.NewPipeFS(env)
+		if err := env.VFS.Mount("/pipes", pfs); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.WriteFile("/f", []byte("x")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := env.VFS.Link("/f", "/pipes/f2"); err == nil {
+			t.Error("cross-filesystem link must fail")
+		}
+		// The pipe filesystem supports neither links nor renames.
+		if err := pfs.Create("/p", 1024); err != nil {
+			t.Error(err)
+		}
+		if err := env.VFS.Rename("/pipes/p", "/pipes/q"); err == nil {
+			t.Error("pipefs rename must fail")
+		}
+	})
+	s.eng.Run()
+}

@@ -1,0 +1,246 @@
+package m3
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/kif"
+)
+
+// PipeFS integrates pipes into the VFS (§4.5.8): mounted next to m3fs,
+// it makes it transparent for applications whether they access a pipe
+// or a file. Pipe ends appear as files under the mount point; opening
+// a name with OpenRead yields the reading end, with OpenWrite the
+// writing end.
+//
+// A pipe is created by the reading side (which must own the receive
+// gate). For cross-VPE pipes, Export hands out the two capability
+// selectors the writer needs; the writer's environment imports them
+// under the same name into its own PipeFS.
+type PipeFS struct {
+	env   *Env
+	pipes map[string]*fsPipe
+}
+
+type fsPipe struct {
+	reader *PipeReader // set on the creating (reading) side
+	writer *PipeWriter // set on the importing (writing) side
+
+	// Same-VPE pipes are shortcut through a local buffer: both ends
+	// belong to one single-threaded program, so there is no isolation
+	// boundary to cross and no second core to synchronize with.
+	local    bool
+	buf      []byte
+	localEOF bool
+	size     int
+
+	readerOpen, writerOpen bool
+}
+
+// NewPipeFS returns an empty pipe filesystem for env.
+func NewPipeFS(env *Env) *PipeFS {
+	return &PipeFS{env: env, pipes: make(map[string]*fsPipe)}
+}
+
+var _ FileSystem = (*PipeFS)(nil)
+
+// Create makes a named pipe of the given ringbuffer size (0 =
+// DefaultPipeSize). The creating environment owns the reading end.
+func (p *PipeFS) Create(name string, size int) error {
+	name = cleanPath(name)
+	if _, exists := p.pipes[name]; exists {
+		return fmt.Errorf("m3: pipe %s: %w", name, errExists)
+	}
+	pr, err := NewPipe(p.env, size)
+	if err != nil {
+		return err
+	}
+	p.pipes[name] = &fsPipe{reader: pr}
+	return nil
+}
+
+// Export returns the writer capabilities (send gate, ringbuffer write
+// gate) and size of a created pipe, for delegation to the writer VPE.
+func (p *PipeFS) Export(name string) (sgate, wmem kif.CapSel, size int, err error) {
+	fp, ok := p.pipes[cleanPath(name)]
+	if !ok || fp.reader == nil {
+		return kif.InvalidSel, kif.InvalidSel, 0, fmt.Errorf("m3: pipe %s: not created here", name)
+	}
+	sg, wm := fp.reader.WriterSels()
+	return sg, wm, fp.reader.Size(), nil
+}
+
+// Import registers the writing end of a pipe whose capabilities were
+// delegated from the reading side.
+func (p *PipeFS) Import(name string, sgate, wmem kif.CapSel, size int) error {
+	name = cleanPath(name)
+	if _, exists := p.pipes[name]; exists {
+		return fmt.Errorf("m3: pipe %s: %w", name, errExists)
+	}
+	p.pipes[name] = &fsPipe{writer: OpenPipeWriter(p.env, sgate, wmem, size)}
+	return nil
+}
+
+var errExists = errors.New("already exists")
+
+// Open returns one end of the named pipe as a File.
+func (p *PipeFS) Open(path string, flags OpenFlags) (File, error) {
+	fp, ok := p.pipes[cleanPath(path)]
+	if !ok {
+		return nil, fmt.Errorf("m3: pipe %s: no such pipe", path)
+	}
+	switch {
+	case flags&OpenRead != 0 && flags&OpenWrite == 0:
+		if fp.reader == nil {
+			return nil, fmt.Errorf("m3: pipe %s: reading end lives in the creating VPE", path)
+		}
+		if fp.readerOpen {
+			return nil, fmt.Errorf("m3: pipe %s: reading end already open", path)
+		}
+		fp.readerOpen = true
+		return &pipeReadFile{fp: fp}, nil
+	case flags&OpenWrite != 0 && flags&OpenRead == 0:
+		if fp.writer == nil && fp.reader != nil {
+			// Same-VPE pipe: both ends in one program; shortcut it.
+			fp.local = true
+			fp.size = fp.reader.Size()
+		}
+		if fp.writer == nil && !fp.local {
+			return nil, fmt.Errorf("m3: pipe %s: writing end not imported", path)
+		}
+		if fp.writerOpen {
+			return nil, fmt.Errorf("m3: pipe %s: writing end already open", path)
+		}
+		fp.writerOpen = true
+		return &pipeWriteFile{fp: fp}, nil
+	default:
+		return nil, fmt.Errorf("m3: pipe %s: exactly one of read/write required", path)
+	}
+}
+
+// Stat reports a pipe as a zero-sized special file.
+func (p *PipeFS) Stat(path string) (Stat, error) {
+	if _, ok := p.pipes[cleanPath(path)]; !ok {
+		return Stat{}, fmt.Errorf("m3: pipe %s: no such pipe", path)
+	}
+	return Stat{Size: 0, IsDir: false}, nil
+}
+
+// Mkdir is not supported on the pipe filesystem.
+func (p *PipeFS) Mkdir(path string) error {
+	return errors.New("m3: pipefs: mkdir unsupported")
+}
+
+// Unlink removes a pipe name.
+func (p *PipeFS) Unlink(path string) error {
+	name := cleanPath(path)
+	if _, ok := p.pipes[name]; !ok {
+		return fmt.Errorf("m3: pipe %s: no such pipe", path)
+	}
+	delete(p.pipes, name)
+	return nil
+}
+
+// ReadDir lists the pipe names.
+func (p *PipeFS) ReadDir(path string) ([]DirEntry, error) {
+	if cleanPath(path) != "/" {
+		return nil, errors.New("m3: pipefs: flat namespace")
+	}
+	var out []DirEntry
+	for name := range p.pipes {
+		out = append(out, DirEntry{Name: name[1:], IsDir: false})
+	}
+	return out, nil
+}
+
+// pipeReadFile adapts the reading end to File.
+type pipeReadFile struct {
+	fp     *fsPipe
+	closed bool
+}
+
+func (f *pipeReadFile) Read(buf []byte) (int, error) {
+	if f.closed {
+		return 0, errors.New("m3: read on closed pipe end")
+	}
+	if f.fp.local {
+		return f.fp.localRead(buf)
+	}
+	return f.fp.reader.Read(buf)
+}
+
+func (f *pipeReadFile) Write([]byte) (int, error) { return 0, errors.New("m3: pipe open read-only") }
+
+func (f *pipeReadFile) Seek(int64, int) (int64, error) { return 0, errors.New("m3: pipes cannot seek") }
+
+func (f *pipeReadFile) Close() error {
+	f.closed = true
+	f.fp.readerOpen = false
+	return nil
+}
+
+func (f *pipeReadFile) Stat() (Stat, error) { return Stat{}, nil }
+
+// pipeWriteFile adapts the writing end to File.
+type pipeWriteFile struct {
+	fp     *fsPipe
+	closed bool
+}
+
+func (f *pipeWriteFile) Read([]byte) (int, error) { return 0, errors.New("m3: pipe open write-only") }
+
+func (f *pipeWriteFile) Write(buf []byte) (int, error) {
+	if f.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if f.fp.local {
+		return f.fp.localWrite(buf)
+	}
+	return f.fp.writer.Write(buf)
+}
+
+func (f *pipeWriteFile) Seek(int64, int) (int64, error) {
+	return 0, errors.New("m3: pipes cannot seek")
+}
+
+func (f *pipeWriteFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.fp.writerOpen = false
+	if f.fp.local {
+		f.fp.localEOF = true
+		return nil
+	}
+	return f.fp.writer.Close()
+}
+
+func (f *pipeWriteFile) Stat() (Stat, error) { return Stat{}, nil }
+
+// localWrite appends to the same-VPE shortcut buffer, bounded by the
+// pipe size (a single-threaded program cannot drain concurrently).
+func (fp *fsPipe) localWrite(buf []byte) (int, error) {
+	if fp.localEOF {
+		return 0, io.ErrClosedPipe
+	}
+	if len(fp.buf)+len(buf) > fp.size {
+		return 0, fmt.Errorf("m3: local pipe full (%d of %d bytes): drain before writing more", len(fp.buf), fp.size)
+	}
+	fp.buf = append(fp.buf, buf...)
+	return len(buf), nil
+}
+
+// localRead consumes from the shortcut buffer.
+func (fp *fsPipe) localRead(buf []byte) (int, error) {
+	if len(fp.buf) == 0 {
+		if fp.localEOF {
+			return 0, io.EOF
+		}
+		return 0, errors.New("m3: local pipe empty and writer still open (single-threaded VPE would block forever)")
+	}
+	n := copy(buf, fp.buf)
+	fp.buf = fp.buf[n:]
+	return n, nil
+}

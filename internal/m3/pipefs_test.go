@@ -1,0 +1,248 @@
+package m3_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/m3"
+)
+
+func TestPipeFSLocalTransparency(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "pipefs", func(env *m3.Env) {
+		pfs := m3.NewPipeFS(env)
+		if err := env.VFS.Mount("/pipes", pfs); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := pfs.Create("/p1", 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		// The application accesses the pipe like any file, through the
+		// same VFS API (§4.5.8's transparency claim).
+		w, err := env.VFS.Open("/pipes/p1", m3.OpenWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := w.Write([]byte("through the vfs")); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Close(); err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := env.VFS.Open("/pipes/p1", m3.OpenRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64)
+		n, err := r.Read(buf)
+		if err != nil || string(buf[:n]) != "through the vfs" {
+			t.Errorf("read = %q, %v", buf[:n], err)
+		}
+		if _, err := r.Read(buf); !errors.Is(err, io.EOF) {
+			t.Errorf("second read = %v, want EOF", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestPipeFSCrossVPE(t *testing.T) {
+	s := newSystem(t, 4)
+	const total = 32 << 10
+	var got []byte
+	s.app(t, "parent", func(env *m3.Env) {
+		pfs := m3.NewPipeFS(env)
+		if err := env.VFS.Mount("/pipes", pfs); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := pfs.Create("/data", 8192); err != nil {
+			t.Error(err)
+			return
+		}
+		sg, wm, size, err := pfs.Export("/data")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vpe, err := env.NewVPE("writer", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Delegate(sg, 300, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Delegate(wm, 301, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Run(func(child *m3.Env) {
+			cfs := m3.NewPipeFS(child)
+			if err := child.VFS.Mount("/pipes", cfs); err != nil {
+				child.SetExit(1)
+				return
+			}
+			if err := cfs.Import("/data", 300, 301, size); err != nil {
+				child.SetExit(1)
+				return
+			}
+			w, err := child.VFS.Open("/pipes/data", m3.OpenWrite)
+			if err != nil {
+				child.SetExit(1)
+				return
+			}
+			chunk := make([]byte, 2048)
+			for i := 0; i < total/len(chunk); i++ {
+				for j := range chunk {
+					chunk[j] = byte(i)
+				}
+				if _, err := w.Write(chunk); err != nil {
+					child.SetExit(1)
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				child.SetExit(1)
+			}
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := env.VFS.Open("/pipes/data", m3.OpenRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 2048)
+		for {
+			n, rerr := r.Read(buf)
+			got = append(got, buf[:n]...)
+			if rerr != nil {
+				if !errors.Is(rerr, io.EOF) {
+					t.Error(rerr)
+				}
+				break
+			}
+		}
+		code, err := vpe.Wait()
+		if err != nil || code != 0 {
+			t.Errorf("child exit = %d, %v", code, err)
+		}
+	})
+	s.eng.Run()
+	if len(got) != total {
+		t.Fatalf("got %d bytes, want %d", len(got), total)
+	}
+	want := make([]byte, 2048)
+	for i := 0; i < total/2048; i++ {
+		for j := range want {
+			want[j] = byte(i)
+		}
+		if !bytes.Equal(got[i*2048:(i+1)*2048], want) {
+			t.Fatalf("chunk %d corrupt", i)
+		}
+	}
+}
+
+func TestPipeFSErrors(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "pipefs", func(env *m3.Env) {
+		pfs := m3.NewPipeFS(env)
+		if err := pfs.Create("/p", 4096); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := pfs.Create("/p", 4096); err == nil {
+			t.Error("duplicate create must fail")
+		}
+		if _, err := pfs.Open("/missing", m3.OpenRead); err == nil {
+			t.Error("open of missing pipe must fail")
+		}
+		if _, err := pfs.Open("/p", m3.OpenRW); err == nil {
+			t.Error("open with both read and write must fail")
+		}
+		if err := pfs.Mkdir("/d"); err == nil {
+			t.Error("mkdir must fail on pipefs")
+		}
+		r, err := pfs.Open("/p", m3.OpenRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := pfs.Open("/p", m3.OpenRead); err == nil {
+			t.Error("double open of reading end must fail")
+		}
+		if _, err := r.Seek(0, m3.SeekStart); err == nil {
+			t.Error("seek on pipe must fail")
+		}
+		ents, err := pfs.ReadDir("/")
+		if err != nil || len(ents) != 1 || ents[0].Name != "p" {
+			t.Errorf("readdir = %v, %v", ents, err)
+		}
+		if err := pfs.Unlink("/p"); err != nil {
+			t.Error(err)
+		}
+		if _, err := pfs.Stat("/p"); err == nil {
+			t.Error("stat after unlink must fail")
+		}
+	})
+	s.eng.Run()
+}
+
+func TestPipeFSLocalBounded(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "pipefs", func(env *m3.Env) {
+		pfs := m3.NewPipeFS(env)
+		if err := pfs.Create("/p", 1024); err != nil {
+			t.Error(err)
+			return
+		}
+		w, err := pfs.Open("/p", m3.OpenWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := w.Write(make([]byte, 1024)); err != nil {
+			t.Error(err)
+		}
+		if _, err := w.Write([]byte{1}); err == nil {
+			t.Error("overfull local pipe must fail, not deadlock")
+		}
+		r, err := pfs.Open("/p", m3.OpenRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 512)
+		if _, err := r.Read(buf); err != nil {
+			t.Error(err)
+		}
+		// Draining frees space for more writes.
+		if _, err := w.Write([]byte{1}); err != nil {
+			t.Error(err)
+		}
+		// Drain the remaining 512+1 bytes in one read.
+		n, err := r.Read(make([]byte, 2048))
+		if err != nil || n != 513 {
+			t.Errorf("drain read = %d, %v; want 513", n, err)
+		}
+		// Reading an empty-but-open local pipe errors instead of
+		// blocking the single-threaded program forever.
+		if _, err := r.Read(buf); err == nil {
+			t.Error("empty open local pipe should error")
+		}
+	})
+	s.eng.Run()
+}

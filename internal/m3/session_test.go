@@ -1,0 +1,89 @@
+package m3_test
+
+import (
+	"testing"
+
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+)
+
+// TestSessionClosedOnClientExit checks the session-lifecycle protocol:
+// when a client VPE exits, the kernel drops its capabilities and sends
+// the service a close-session notification, so m3fs frees the
+// per-session state (open fd table).
+func TestSessionClosedOnClientExit(t *testing.T) {
+	s := newSystem(t, 4)
+	s.app(t, "parent", func(env *m3.Env) {
+		if _, err := m3fs.MountAt(env, "/", ""); err != nil {
+			t.Error(err)
+			return
+		}
+		before := s.fs.SessionCount()
+		vpe, err := env.NewVPE("client", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Run(func(child *m3.Env) {
+			// The child opens its own session and some files, then
+			// exits without closing anything.
+			if _, err := m3fs.MountAt(child, "/", ""); err != nil {
+				child.SetExit(1)
+				return
+			}
+			if err := child.VFS.WriteFile("/leak.txt", []byte("leaked")); err != nil {
+				child.SetExit(1)
+			}
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if code, err := vpe.Wait(); err != nil || code != 0 {
+			t.Errorf("child exit %d, %v", code, err)
+			return
+		}
+		// Give the asynchronous close notification time to land.
+		env.P().Sleep(5000)
+		after := s.fs.SessionCount()
+		if after != before {
+			t.Errorf("sessions = %d after child exit, want %d", after, before)
+		}
+	})
+	s.eng.Run()
+}
+
+// TestSessionSurvivesDelegatedCopyRevoke: revoking a delegated copy of
+// the session must NOT close it for the original holder.
+func TestSessionSurvivesDelegatedCopyRevoke(t *testing.T) {
+	s := newSystem(t, 4)
+	s.app(t, "parent", func(env *m3.Env) {
+		c, err := m3fs.MountAt(env, "/", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vpe, err := env.NewVPE("child", "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Delegate(c.SessSel(), 600, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := vpe.Run(func(child *m3.Env) {}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := vpe.Wait(); err != nil {
+			t.Error(err)
+		}
+		env.P().Sleep(5000)
+		// The parent's session still works after the child (holding a
+		// delegated copy) exited.
+		if err := env.VFS.WriteFile("/still-works", []byte("yes")); err != nil {
+			t.Errorf("session died with the delegated copy: %v", err)
+		}
+	})
+	s.eng.Run()
+}

@@ -1,0 +1,191 @@
+package m3_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/m3"
+)
+
+// fakeFS is an in-memory FileSystem for VFS unit tests.
+type fakeFS struct {
+	name  string
+	seen  []string
+	files map[string][]byte
+}
+
+func newFakeFS(name string) *fakeFS {
+	return &fakeFS{name: name, files: map[string][]byte{}}
+}
+
+func (f *fakeFS) Open(path string, flags m3.OpenFlags) (m3.File, error) {
+	f.seen = append(f.seen, "open:"+path)
+	if flags&m3.OpenCreate != 0 {
+		f.files[path] = nil
+	}
+	data, ok := f.files[path]
+	if !ok {
+		return nil, errors.New("fake: not found")
+	}
+	return &fakeFile{fs: f, path: path, data: data}, nil
+}
+
+func (f *fakeFS) Stat(path string) (m3.Stat, error) {
+	f.seen = append(f.seen, "stat:"+path)
+	if data, ok := f.files[path]; ok {
+		return m3.Stat{Size: int64(len(data))}, nil
+	}
+	return m3.Stat{}, errors.New("fake: not found")
+}
+
+func (f *fakeFS) Mkdir(path string) error {
+	f.seen = append(f.seen, "mkdir:"+path)
+	return nil
+}
+
+func (f *fakeFS) Unlink(path string) error {
+	f.seen = append(f.seen, "unlink:"+path)
+	delete(f.files, path)
+	return nil
+}
+
+func (f *fakeFS) ReadDir(path string) ([]m3.DirEntry, error) {
+	f.seen = append(f.seen, "readdir:"+path)
+	return nil, nil
+}
+
+type fakeFile struct {
+	fs   *fakeFS
+	path string
+	data []byte
+	pos  int
+}
+
+func (f *fakeFile) Read(buf []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(buf, f.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+func (f *fakeFile) Write(buf []byte) (int, error) {
+	f.data = append(f.data[:f.pos], buf...)
+	f.pos = len(f.data)
+	f.fs.files[f.path] = f.data
+	return len(buf), nil
+}
+
+func (f *fakeFile) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		f.pos = int(off)
+	case io.SeekCurrent:
+		f.pos += int(off)
+	case io.SeekEnd:
+		f.pos = len(f.data) + int(off)
+	}
+	return int64(f.pos), nil
+}
+
+func (f *fakeFile) Close() error           { return nil }
+func (f *fakeFile) Stat() (m3.Stat, error) { return m3.Stat{Size: int64(len(f.data))}, nil }
+
+func TestVFSLongestPrefixWins(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "vfs", func(env *m3.Env) {
+		root := newFakeFS("root")
+		sub := newFakeFS("sub")
+		if err := env.VFS.Mount("/", root); err != nil {
+			t.Error(err)
+		}
+		if err := env.VFS.Mount("/sub", sub); err != nil {
+			t.Error(err)
+		}
+		_, _ = env.VFS.Stat("/sub/file")
+		_, _ = env.VFS.Stat("/other")
+		if len(sub.seen) != 1 || sub.seen[0] != "stat:/file" {
+			t.Errorf("sub saw %v, want [stat:/file]", sub.seen)
+		}
+		if len(root.seen) != 1 || root.seen[0] != "stat:/other" {
+			t.Errorf("root saw %v, want [stat:/other]", root.seen)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestVFSDoubleMountRejected(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "vfs", func(env *m3.Env) {
+		if err := env.VFS.Mount("/x", newFakeFS("a")); err != nil {
+			t.Error(err)
+		}
+		if err := env.VFS.Mount("/x", newFakeFS("b")); err == nil {
+			t.Error("double mount must fail")
+		}
+	})
+	s.eng.Run()
+}
+
+func TestVFSUnmountedPath(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "vfs", func(env *m3.Env) {
+		if _, err := env.VFS.Open("/nowhere", m3.OpenRead); !errors.Is(err, m3.ErrNotMounted) {
+			t.Errorf("open: %v, want ErrNotMounted", err)
+		}
+		if _, err := env.VFS.Stat("/nowhere"); !errors.Is(err, m3.ErrNotMounted) {
+			t.Errorf("stat: %v, want ErrNotMounted", err)
+		}
+		if err := env.VFS.Mkdir("/nowhere"); !errors.Is(err, m3.ErrNotMounted) {
+			t.Errorf("mkdir: %v, want ErrNotMounted", err)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestVFSPathCleaning(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "vfs", func(env *m3.Env) {
+		fs := newFakeFS("root")
+		if err := env.VFS.Mount("/", fs); err != nil {
+			t.Error(err)
+		}
+		_, _ = env.VFS.Stat("//a///b/")
+		found := false
+		for _, op := range fs.seen {
+			if op == "stat:/a/b" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("path not cleaned: %v", fs.seen)
+		}
+	})
+	s.eng.Run()
+}
+
+func TestVFSReadWriteFileHelpers(t *testing.T) {
+	s := newSystem(t, 3)
+	s.app(t, "vfs", func(env *m3.Env) {
+		fs := newFakeFS("root")
+		if err := env.VFS.Mount("/", fs); err != nil {
+			t.Error(err)
+		}
+		payload := []byte(strings.Repeat("x", 10000)) // multiple 4 KiB chunks
+		if err := env.VFS.WriteFile("/big", payload); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := env.VFS.ReadFile("/big")
+		if err != nil || len(got) != len(payload) {
+			t.Errorf("readfile: %d bytes, %v", len(got), err)
+		}
+		if _, err := env.VFS.ReadFile("/missing"); err == nil {
+			t.Error("readfile of missing file must fail")
+		}
+	})
+	s.eng.Run()
+}

@@ -1,0 +1,437 @@
+package m3fs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/kif"
+	"repro/internal/m3"
+)
+
+// Client is the libm3-side m3fs driver: it implements m3.FileSystem on
+// top of a session with the service. Meta-data operations are messages
+// to the service; data access goes through memory capabilities covering
+// file extents, obtained once per extent and cached, so that the
+// common-case read/write path involves only libm3 (§5.4).
+type Client struct {
+	env  *m3.Env
+	sess kif.CapSel
+	sg   *m3.SendGate
+
+	// AppendBlocks overrides the per-append preallocation (0 = server
+	// default); NoMerge forces separate extents (Figure 4 experiment).
+	AppendBlocks int
+	NoMerge      bool
+}
+
+var _ m3.FileSystem = (*Client)(nil)
+
+// Mount opens a session at the named m3fs service, retrying while the
+// service has not registered yet (boot races), and obtains the send
+// gate for requests.
+func Mount(env *m3.Env, service string) (*Client, error) {
+	if service == "" {
+		service = ServiceName
+	}
+	var sess kif.CapSel
+	for attempt := 0; ; attempt++ {
+		var err error
+		sess, err = env.OpenSess(service, "")
+		if err == nil {
+			break
+		}
+		if errors.Is(err, kif.ErrNoSuchService) && attempt < 100 {
+			env.P().Sleep(1000)
+			continue
+		}
+		return nil, fmt.Errorf("m3fs: open session: %w", err)
+	}
+	c := &Client{env: env, sess: sess}
+	sgSel := env.AllocSel()
+	var args kif.OStream
+	args.U64(xGetSGate)
+	if _, err := env.ExchangeSess(sess, true, sgSel, 1, args.Bytes()); err != nil {
+		return nil, fmt.Errorf("m3fs: obtain sgate: %w", err)
+	}
+	c.sg = env.SendGateAt(sgSel)
+	return c, nil
+}
+
+// ClientFromCaps wraps an already-delegated session and request gate
+// (e.g. inherited from a parent VPE, like a forked child inheriting a
+// mount).
+func ClientFromCaps(env *m3.Env, sess, sgate kif.CapSel) *Client {
+	return &Client{env: env, sess: sess, sg: env.SendGateAt(sgate)}
+}
+
+// SessSel returns the session capability selector (for delegation to
+// children).
+func (c *Client) SessSel() kif.CapSel { return c.sess }
+
+// SGateSel returns the request-gate capability selector.
+func (c *Client) SGateSel() kif.CapSel { return c.sg.Sel() }
+
+// MountAt mounts a fresh client at prefix in the environment's VFS.
+func MountAt(env *m3.Env, prefix, service string) (*Client, error) {
+	c, err := Mount(env, service)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.VFS.Mount(prefix, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// call performs a request-gate call and returns the reply stream
+// positioned after a successful error code.
+func (c *Client) call(o *kif.OStream) (*kif.IStream, error) {
+	data, err := c.sg.Call(o.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	is := kif.NewIStream(data)
+	if e := is.ErrCode(); e != kif.OK {
+		return nil, e
+	}
+	return is, nil
+}
+
+// Open opens or creates the file at path.
+func (c *Client) Open(path string, flags m3.OpenFlags) (m3.File, error) {
+	var o kif.OStream
+	o.U64(fsOpen).Str(path).U64(wireFlags(flags))
+	is, err := c.call(&o)
+	if err != nil {
+		return nil, fmt.Errorf("m3fs: open %s: %w", path, err)
+	}
+	fd, size := is.U64(), int64(is.U64())
+	_ = is.U64() // extent count (informational)
+	alloc := int64(is.U64())
+	f := &file{c: c, fd: fd, size: size, alloc: alloc, flags: flags}
+	if flags&m3.OpenTrunc != 0 {
+		f.alloc = 0
+	}
+	if flags&m3.OpenAppend != 0 {
+		f.pos = size
+	}
+	return f, nil
+}
+
+// Stat returns metadata for path.
+func (c *Client) Stat(path string) (m3.Stat, error) {
+	var o kif.OStream
+	o.U64(fsStat).Str(path)
+	is, err := c.call(&o)
+	if err != nil {
+		return m3.Stat{}, fmt.Errorf("m3fs: stat %s: %w", path, err)
+	}
+	return decodeStat(is), nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	var o kif.OStream
+	o.U64(fsMkdir).Str(path)
+	_, err := c.call(&o)
+	if err != nil {
+		return fmt.Errorf("m3fs: mkdir %s: %w", path, err)
+	}
+	return nil
+}
+
+// Unlink removes a file or empty directory.
+func (c *Client) Unlink(path string) error {
+	var o kif.OStream
+	o.U64(fsUnlink).Str(path)
+	_, err := c.call(&o)
+	if err != nil {
+		return fmt.Errorf("m3fs: unlink %s: %w", path, err)
+	}
+	return nil
+}
+
+// Link creates a hard link: a second name for the file at oldPath.
+func (c *Client) Link(oldPath, newPath string) error {
+	var o kif.OStream
+	o.U64(fsLink).Str(oldPath).Str(newPath)
+	if _, err := c.call(&o); err != nil {
+		return fmt.Errorf("m3fs: link %s -> %s: %w", newPath, oldPath, err)
+	}
+	return nil
+}
+
+// Rename moves the entry at oldPath to newPath.
+func (c *Client) Rename(oldPath, newPath string) error {
+	var o kif.OStream
+	o.U64(fsRename).Str(oldPath).Str(newPath)
+	if _, err := c.call(&o); err != nil {
+		return fmt.Errorf("m3fs: rename %s -> %s: %w", oldPath, newPath, err)
+	}
+	return nil
+}
+
+// Sync asks the service to flush the filesystem to its persistent
+// image.
+func (c *Client) Sync() error {
+	var o kif.OStream
+	o.U64(fsSync)
+	if _, err := c.call(&o); err != nil {
+		return fmt.Errorf("m3fs: sync: %w", err)
+	}
+	return nil
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]m3.DirEntry, error) {
+	var out []m3.DirEntry
+	for idx := 0; ; {
+		var o kif.OStream
+		o.U64(fsReadDir).Str(path).U64(uint64(idx))
+		is, err := c.call(&o)
+		if err != nil {
+			return nil, fmt.Errorf("m3fs: readdir %s: %w", path, err)
+		}
+		total, n := int(is.U64()), int(is.U64())
+		for i := 0; i < n; i++ {
+			name := is.Str()
+			isDir := is.U64() != 0
+			out = append(out, m3.DirEntry{Name: name, IsDir: isDir})
+		}
+		idx += n
+		if idx >= total || n == 0 {
+			return out, nil
+		}
+	}
+}
+
+func decodeStat(is *kif.IStream) m3.Stat {
+	size := int64(is.U64())
+	isDir := is.U64() != 0
+	ino := is.U64()
+	extents := int(is.U64())
+	links := int(is.U64())
+	return m3.Stat{Size: size, IsDir: isDir, Ino: ino, Extents: extents, Links: links}
+}
+
+func wireFlags(f m3.OpenFlags) uint64 {
+	var w uint64
+	if f&m3.OpenRead != 0 {
+		w |= flagRead
+	}
+	if f&m3.OpenWrite != 0 {
+		w |= flagWrite
+	}
+	if f&m3.OpenCreate != 0 {
+		w |= flagCreate
+	}
+	if f&m3.OpenTrunc != 0 {
+		w |= flagTrunc
+	}
+	if f&m3.OpenAppend != 0 {
+		w |= flagAppend
+	}
+	return w
+}
+
+// cext is a cached extent: a memory gate covering file bytes
+// [off, off+len).
+type cext struct {
+	off, len int64
+	mg       *m3.MemGate
+}
+
+// file implements m3.File. The extent cache makes repeated reads,
+// writes, and most seeks purely local (§4.5.8): only when the position
+// leaves the obtained extents is m3fs contacted again.
+type file struct {
+	c     *Client
+	fd    uint64
+	flags m3.OpenFlags
+	pos   int64
+	size  int64
+	// alloc is the allocated (possibly preallocated) end of the file as
+	// known locally; writes below it stay local.
+	alloc   int64
+	extents []cext
+	closed  bool
+}
+
+// findExtent returns the cached extent containing off.
+func (f *file) findExtent(off int64) *cext {
+	for i := range f.extents {
+		e := &f.extents[i]
+		if off >= e.off && off < e.off+e.len {
+			return e
+		}
+	}
+	return nil
+}
+
+// locate obtains the extent covering off from m3fs.
+func (f *file) locate(off int64) (*cext, error) {
+	sel := f.c.env.AllocSel()
+	var args kif.OStream
+	args.U64(xLocate).U64(f.fd).U64(uint64(off))
+	ret, err := f.c.env.ExchangeSess(f.c.sess, true, sel, 1, args.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	ris := kif.NewIStream(ret)
+	extOff, extLen := int64(ris.U64()), int64(ris.U64())
+	e := cext{off: extOff, len: extLen, mg: f.c.env.MemGateAt(sel, int(extLen))}
+	f.extents = append(f.extents, e)
+	if extOff+extLen > f.alloc {
+		f.alloc = extOff + extLen
+	}
+	return &f.extents[len(f.extents)-1], nil
+}
+
+// appendExtent asks m3fs to reserve new blocks at the end of the file.
+func (f *file) appendExtent() (*cext, error) {
+	sel := f.c.env.AllocSel()
+	var args kif.OStream
+	args.U64(xAppend).U64(f.fd).U64(uint64(f.c.AppendBlocks))
+	if f.c.NoMerge {
+		args.U64(1)
+	} else {
+		args.U64(0)
+	}
+	ret, err := f.c.env.ExchangeSess(f.c.sess, true, sel, 1, args.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	ris := kif.NewIStream(ret)
+	extOff, extLen := int64(ris.U64()), int64(ris.U64())
+	e := cext{off: extOff, len: extLen, mg: f.c.env.MemGateAt(sel, int(extLen))}
+	f.extents = append(f.extents, e)
+	if extOff+extLen > f.alloc {
+		f.alloc = extOff + extLen
+	}
+	return &f.extents[len(f.extents)-1], nil
+}
+
+// Read fills buf from the current position, returning io.EOF at end of
+// file.
+func (f *file) Read(buf []byte) (int, error) {
+	env := f.c.env
+	env.Ctx.Compute(m3.CostFileEnter)
+	if f.closed {
+		return 0, errors.New("m3fs: read on closed file")
+	}
+	if f.pos >= f.size {
+		return 0, io.EOF
+	}
+	env.Ctx.Compute(m3.CostFileLocate)
+	e := f.findExtent(f.pos)
+	if e == nil {
+		var err error
+		if e, err = f.locate(f.pos); err != nil {
+			return 0, err
+		}
+	}
+	n := int64(len(buf))
+	if rest := e.off + e.len - f.pos; n > rest {
+		n = rest
+	}
+	if rest := f.size - f.pos; n > rest {
+		n = rest
+	}
+	if err := e.mg.Read(buf[:n], int(f.pos-e.off)); err != nil {
+		return 0, err
+	}
+	f.pos += n
+	return int(n), nil
+}
+
+// Write stores buf at the current position, appending via preallocated
+// extents as needed.
+func (f *file) Write(buf []byte) (int, error) {
+	env := f.c.env
+	env.Ctx.Compute(m3.CostFileEnter)
+	if f.closed {
+		return 0, errors.New("m3fs: write on closed file")
+	}
+	if f.flags&m3.OpenWrite == 0 {
+		return 0, errors.New("m3fs: file not open for writing")
+	}
+	total := 0
+	for len(buf) > 0 {
+		env.Ctx.Compute(m3.CostFileLocate)
+		e := f.findExtent(f.pos)
+		if e == nil {
+			var err error
+			if f.pos < f.size || f.pos < f.alloc {
+				// Overwriting existing data (or preallocated space):
+				// obtain the extent that already covers the position.
+				e, err = f.locate(f.pos)
+				if err != nil && errors.Is(err, kif.ErrEndOfFile) {
+					e, err = f.appendExtent()
+				}
+			} else {
+				e, err = f.appendExtent()
+			}
+			if err != nil {
+				return total, err
+			}
+		}
+		n := int64(len(buf))
+		if rest := e.off + e.len - f.pos; n > rest {
+			n = rest
+		}
+		if err := e.mg.Write(buf[:n], int(f.pos-e.off)); err != nil {
+			return total, err
+		}
+		f.pos += n
+		if f.pos > f.size {
+			f.size = f.pos
+		}
+		buf = buf[n:]
+		total += int(n)
+	}
+	return total, nil
+}
+
+// Seek adjusts the position; it is purely local ("most seek operations
+// can be done in libm3").
+func (f *file) Seek(off int64, whence int) (int64, error) {
+	f.c.env.Ctx.Compute(m3.CostFileLocate)
+	switch whence {
+	case io.SeekStart:
+		f.pos = off
+	case io.SeekCurrent:
+		f.pos += off
+	case io.SeekEnd:
+		f.pos = f.size + off
+	default:
+		return 0, errors.New("m3fs: bad whence")
+	}
+	if f.pos < 0 {
+		f.pos = 0
+	}
+	return f.pos, nil
+}
+
+// Close reports the final size so m3fs can truncate preallocation.
+func (f *file) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var o kif.OStream
+	o.U64(fsClose).U64(f.fd).U64(uint64(f.size))
+	_, err := f.c.call(&o)
+	return err
+}
+
+// Stat queries the service about the open file.
+func (f *file) Stat() (m3.Stat, error) {
+	var o kif.OStream
+	o.U64(fsFStat).U64(f.fd)
+	is, err := f.c.call(&o)
+	if err != nil {
+		return m3.Stat{}, err
+	}
+	return decodeStat(is), nil
+}

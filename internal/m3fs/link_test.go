@@ -1,0 +1,126 @@
+package m3fs
+
+import "testing"
+
+func TestHardLinkSharesInode(t *testing.T) {
+	fs := newFS()
+	ino, _, err := fs.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Append(ino, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	fs.Truncate(ino, 4096)
+	if _, err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := fs.Lookup("/a")
+	b, _, _ := fs.Lookup("/b")
+	if a != b {
+		t.Fatal("link does not share the inode")
+	}
+	if a.Nlink != 2 {
+		t.Fatalf("nlink = %d, want 2", a.Nlink)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlinking one name keeps the data.
+	if _, err := fs.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.UsedBlocks() != 4 {
+		t.Fatalf("blocks freed too early: %d", fs.UsedBlocks())
+	}
+	if _, _, err := fs.Lookup("/b"); err != nil {
+		t.Fatal("surviving link broken")
+	}
+	// Unlinking the last name frees everything.
+	if _, err := fs.Unlink("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.UsedBlocks() != 0 {
+		t.Fatalf("blocks leaked: %d", fs.UsedBlocks())
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	fs := newFS()
+	_, _ = fs.Mkdir("/d")
+	_, _, _ = fs.Create("/f")
+	if _, err := fs.Link("/d", "/d2"); err == nil {
+		t.Fatal("linking a directory must fail")
+	}
+	if _, err := fs.Link("/missing", "/x"); err == nil {
+		t.Fatal("linking a missing file must fail")
+	}
+	if _, err := fs.Link("/f", "/d"); err == nil {
+		t.Fatal("link over existing name must fail")
+	}
+}
+
+func TestRenameFileAndDir(t *testing.T) {
+	fs := newFS()
+	_, _ = fs.Mkdir("/src")
+	_, _ = fs.Mkdir("/dst")
+	ino, _, _ := fs.Create("/src/f")
+	_, _ = fs.Append(ino, 1, false)
+	fs.Truncate(ino, 100)
+	if _, err := fs.Rename("/src/f", "/dst/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Lookup("/src/f"); err == nil {
+		t.Fatal("old name still resolves")
+	}
+	got, _, err := fs.Lookup("/dst/g")
+	if err != nil || got != ino {
+		t.Fatalf("rename lost the inode: %v", err)
+	}
+	// Rename a directory with contents.
+	if _, err := fs.Rename("/src", "/dst/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Lookup("/dst/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameIntoItselfRefused(t *testing.T) {
+	fs := newFS()
+	_, _ = fs.Mkdir("/a")
+	_, _ = fs.Mkdir("/a/b")
+	if _, err := fs.Rename("/a", "/a/b/a2"); err == nil {
+		t.Fatal("moving a directory into its own subtree must fail")
+	}
+	if _, err := fs.Rename("/missing", "/x"); err == nil {
+		t.Fatal("renaming a missing entry must fail")
+	}
+	_, _, _ = fs.Create("/exists")
+	if _, err := fs.Rename("/a", "/exists"); err == nil {
+		t.Fatal("renaming onto an existing name must fail")
+	}
+}
+
+func TestLinkSurvivesImage(t *testing.T) {
+	fs := newFS()
+	ino, _, _ := fs.Create("/orig")
+	_, _ = fs.Append(ino, 2, false)
+	fs.Truncate(ino, 2048)
+	_, _ = fs.Link("/orig", "/alias")
+	back, err := UnmarshalImage(fs.MarshalImage(nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := back.Lookup("/orig")
+	b, _, _ := back.Lookup("/alias")
+	if a == nil || a != b || a.Nlink != 2 {
+		t.Fatal("hard link lost through the image")
+	}
+}

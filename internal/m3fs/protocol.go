@@ -1,0 +1,68 @@
+package m3fs
+
+import "repro/internal/sim"
+
+// Request-gate opcodes (client → m3fs, no kernel involvement).
+const (
+	fsOpen uint64 = iota + 1
+	fsClose
+	fsStat
+	fsFStat
+	fsMkdir
+	fsUnlink
+	fsReadDir
+	// fsSync flushes the filesystem to a persistent image (§4.5.8:
+	// the layout is "suitable for persistent storage").
+	fsSync
+	// fsLink creates a hard link; fsRename moves an entry (§4.5.8
+	// lists link among m3fs's meta-data operations).
+	fsLink
+	fsRename
+)
+
+// Session-exchange opcodes (client → kernel → m3fs, moving memory
+// capabilities).
+const (
+	// xLocate asks for the extent covering a file offset; the client
+	// obtains a memory capability for it.
+	xLocate uint64 = iota + 20
+	// xAppend reserves new blocks at the end of the file and returns a
+	// memory capability for the new extent.
+	xAppend
+	// xGetSGate hands the client a send gate to the request gate,
+	// labelled with the session identifier.
+	xGetSGate
+)
+
+// ServiceName is the name m3fs registers at the kernel.
+const ServiceName = "m3fs"
+
+// DefaultAppendBlocks is how many blocks a write appends at once to
+// limit fragmentation; the paper's sweet spot (§5.5) is 256.
+const DefaultAppendBlocks = 256
+
+// Service-side cycle costs.
+const (
+	costPerComponent sim.Time = 70  // directory lookup per path component
+	costOpen         sim.Time = 450 // fd allocation, inode load
+	costClose        sim.Time = 800 // truncation bookkeeping
+	costStat         sim.Time = 480 // inode copy-out; stat is better optimized on Linux (§5.6)
+	costMkdir        sim.Time = 250
+	costUnlink       sim.Time = 250
+	costLink         sim.Time = 300
+	costRename       sim.Time = 350
+	costReadDir      sim.Time = 120  // per chunk of entries
+	costLocate       sim.Time = 600  // extent search + cap bookkeeping
+	costAppend       sim.Time = 1000 // allocator + extent insert
+	costOpenSess     sim.Time = 250
+	costExchangeBase sim.Time = 150
+)
+
+// Open flag bits on the wire (match m3.OpenFlags).
+const (
+	flagRead uint64 = 1 << iota
+	flagWrite
+	flagCreate
+	flagTrunc
+	flagAppend
+)

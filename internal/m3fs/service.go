@@ -1,0 +1,473 @@
+package m3fs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/kif"
+	"repro/internal/m3"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// Config parameterizes the m3fs service.
+type Config struct {
+	// RegionSize is the DRAM region backing the filesystem (default 32 MiB).
+	RegionSize int
+	// BlockSize (default 1 KiB, the paper's benchmark configuration).
+	BlockSize int
+	// AppendBlocks is the per-append preallocation (default 256).
+	AppendBlocks int
+	// Image, when set, is a filesystem image the service loads into
+	// its DRAM region at start (boot from persistent storage).
+	Image []byte
+}
+
+func (c *Config) defaults() {
+	if c.RegionSize == 0 {
+		c.RegionSize = 32 << 20
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 1024
+	}
+	if c.AppendBlocks == 0 {
+		c.AppendBlocks = DefaultAppendBlocks
+	}
+}
+
+// session is the per-client service state.
+type session struct {
+	ident  uint64
+	files  map[uint64]*openFile
+	nextFD uint64
+}
+
+type openFile struct {
+	ino      *Inode
+	writable bool
+}
+
+// Service is the m3fs server state, owned by the service program.
+type Service struct {
+	cfg  Config
+	env  *m3.Env
+	fs   *FsCore
+	mem  *m3.MemGate // DRAM region backing the filesystem
+	ctrl *m3.RecvGate
+	reqs *m3.RecvGate
+
+	sessions  map[uint64]*session
+	nextIdent uint64
+
+	// Stats for the evaluation.
+	Requests  uint64
+	Exchanges uint64
+
+	// SyncedImage holds the image written by the last sync request:
+	// the stand-in for the persistent storage device the prototype
+	// platform lacks.
+	SyncedImage []byte
+}
+
+// Program returns the m3fs service program for kern.StartInit. The
+// ready callback (may be nil) fires once the service is registered.
+func Program(kern *core.Kernel, cfg Config, ready func(*Service)) core.Program {
+	return func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		svc, err := Start(env, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("m3fs: start failed: %v", err))
+		}
+		if ready != nil {
+			ready(svc)
+		}
+		svc.Serve()
+	}
+}
+
+// Start allocates the backing region, formats the filesystem, and
+// registers the service at the kernel.
+func Start(env *m3.Env, cfg Config) (*Service, error) {
+	cfg.defaults()
+	s := &Service{cfg: cfg, env: env, sessions: make(map[uint64]*session)}
+	var err error
+	s.mem, err = env.ReqMem(cfg.RegionSize, dtu.PermRW)
+	if err != nil {
+		return nil, fmt.Errorf("m3fs: region: %w", err)
+	}
+	s.fs = NewFsCore(cfg.RegionSize, cfg.BlockSize)
+	s.ctrl, err = env.NewRecvGate(256, 8)
+	if err != nil {
+		return nil, fmt.Errorf("m3fs: ctrl gate: %w", err)
+	}
+	// The request ringbuffer bounds the number of concurrently served
+	// clients: every session activation gets one credit, and the
+	// receiver must never hand out more credits than it has buffer
+	// space (§4.4.3).
+	s.reqs, err = env.NewRecvGate(448, 48)
+	if err != nil {
+		return nil, fmt.Errorf("m3fs: request gate: %w", err)
+	}
+	if cfg.Image != nil {
+		if err := s.loadImage(cfg.Image); err != nil {
+			return nil, err
+		}
+	}
+	srvSel := env.AllocSel()
+	var o kif.OStream
+	o.Op(kif.SysCreateSrv).Sel(srvSel).Sel(s.ctrl.Sel()).Str(ServiceName)
+	if _, err := env.Syscall(&o); err != nil {
+		return nil, fmt.Errorf("m3fs: createsrv: %w", err)
+	}
+	return s, nil
+}
+
+// FS exposes the filesystem core (tests, fsck).
+func (s *Service) FS() *FsCore { return s.fs }
+
+// Serve handles control (kernel) and request (client) messages forever.
+func (s *Service) Serve() {
+	d := s.env.DTU()
+	for {
+		msg, ep := d.WaitMsg(s.env.P(), s.ctrl.EP(), s.reqs.EP())
+		switch ep {
+		case s.ctrl.EP():
+			s.handleCtrl(msg)
+		case s.reqs.EP():
+			s.handleRequest(msg)
+		}
+	}
+}
+
+// handleCtrl processes the kernel's service protocol: session opens and
+// capability exchanges.
+func (s *Service) handleCtrl(msg *dtu.Message) {
+	is := kif.NewIStream(msg.Data)
+	switch kif.ServiceOp(is.U64()) {
+	case kif.ServOpen:
+		_ = is.Str() // session argument, unused by m3fs
+		s.compute(costOpenSess)
+		s.nextIdent++
+		sess := &session{ident: s.nextIdent, files: make(map[uint64]*openFile)}
+		s.sessions[sess.ident] = sess
+		var o kif.OStream
+		o.Err(kif.OK).U64(sess.ident)
+		s.reply(s.ctrl, msg, &o)
+	case kif.ServExchange:
+		ident := is.U64()
+		obtain := is.U64() != 0
+		nCaps := is.U64()
+		args := kif.NewIStream(is.Blob())
+		s.compute(costExchangeBase)
+		sess := s.sessions[ident]
+		if sess == nil || !obtain || nCaps != 1 {
+			s.replyXchgErr(msg, kif.ErrInvalidArgs)
+			return
+		}
+		s.handleExchange(sess, args, msg)
+	case kif.ServCloseSess:
+		ident := is.U64()
+		delete(s.sessions, ident)
+		var o kif.OStream
+		o.Err(kif.OK)
+		s.reply(s.ctrl, msg, &o)
+	default:
+		s.replyXchgErr(msg, kif.ErrUnsupported)
+	}
+}
+
+// handleExchange implements the capability-moving operations: locate,
+// append, and get-sgate.
+func (s *Service) handleExchange(sess *session, args *kif.IStream, msg *dtu.Message) {
+	s.Exchanges++
+	switch op := args.U64(); op {
+	case xGetSGate:
+		sgSel, err := s.reqs.NewSendGate(sess.ident, 1)
+		if err != nil {
+			s.replyXchgErr(msg, kif.ErrNoSpace)
+			return
+		}
+		s.replyXchgCaps(msg, sgSel, nil)
+	case xLocate:
+		fd, off := args.U64(), int64(args.U64())
+		of := sess.files[fd]
+		if of == nil {
+			s.replyXchgErr(msg, kif.ErrInvalidArgs)
+			return
+		}
+		s.compute(costLocate)
+		ext, extOff, extLen, ok := s.fs.FindExtent(of.ino, off)
+		if !ok {
+			s.replyXchgErr(msg, kif.ErrEndOfFile)
+			return
+		}
+		s.replyExtent(msg, of, ext, extOff, extLen)
+	case xAppend:
+		fd, blocks, noMerge := args.U64(), int(args.U64()), args.U64() != 0
+		of := sess.files[fd]
+		if of == nil || !of.writable {
+			s.replyXchgErr(msg, kif.ErrNoPerm)
+			return
+		}
+		if blocks <= 0 {
+			blocks = s.cfg.AppendBlocks
+		}
+		s.compute(costAppend)
+		ext, err := s.fs.Append(of.ino, blocks, noMerge)
+		if err != nil {
+			s.replyXchgErr(msg, kif.ErrNoSpace)
+			return
+		}
+		// The new extent begins at the current allocation end.
+		extLen := int64(ext.Blocks) * int64(s.fs.BlockSize)
+		extOff := int64(of.ino.AllocBlocks-ext.Blocks) * int64(s.fs.BlockSize)
+		s.replyExtent(msg, of, ext, extOff, extLen)
+	default:
+		s.replyXchgErr(msg, kif.ErrUnsupported)
+	}
+}
+
+// replyExtent derives a memory capability for ext and answers the
+// exchange with it.
+func (s *Service) replyExtent(msg *dtu.Message, of *openFile, ext Extent, extOff, extLen int64) {
+	perms := dtu.PermRead
+	if of.writable {
+		perms = dtu.PermRW
+	}
+	mg, err := s.mem.Derive(ext.Start*s.fs.BlockSize, int(extLen), perms)
+	if err != nil {
+		s.replyXchgErr(msg, kif.ErrNoSpace)
+		return
+	}
+	var ret kif.OStream
+	ret.U64(uint64(extOff)).U64(uint64(extLen))
+	s.replyXchgCaps(msg, mg.Sel(), ret.Bytes())
+}
+
+// replyXchgCaps answers a ServExchange with one capability and
+// optional return arguments.
+func (s *Service) replyXchgCaps(msg *dtu.Message, capSel kif.CapSel, retArgs []byte) {
+	var o kif.OStream
+	o.Err(kif.OK).Sel(capSel).U64(1).Blob(retArgs)
+	s.reply(s.ctrl, msg, &o)
+}
+
+func (s *Service) replyXchgErr(msg *dtu.Message, e kif.Error) {
+	var o kif.OStream
+	o.Err(e).Sel(kif.InvalidSel).U64(0).Blob(nil)
+	s.reply(s.ctrl, msg, &o)
+}
+
+// handleRequest processes direct client requests (meta-data only; data
+// moves through delegated memory capabilities).
+func (s *Service) handleRequest(msg *dtu.Message) {
+	s.Requests++
+	sess := s.sessions[msg.Label]
+	is := kif.NewIStream(msg.Data)
+	op := is.U64()
+	if sess == nil {
+		s.replyErr(s.reqs, msg, kif.ErrNoSuchSession)
+		return
+	}
+	switch op {
+	case fsOpen:
+		s.reqOpen(sess, is, msg)
+	case fsClose:
+		s.reqClose(sess, is, msg)
+	case fsStat:
+		path := is.Str()
+		ino, depth, err := s.lookup(path)
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
+			return
+		}
+		s.compute(costStat + costPerComponent*sim.Time(depth))
+		s.replyStat(msg, ino)
+	case fsFStat:
+		of := sess.files[is.U64()]
+		if of == nil {
+			s.replyErr(s.reqs, msg, kif.ErrInvalidArgs)
+			return
+		}
+		s.compute(costStat)
+		s.replyStat(msg, of.ino)
+	case fsMkdir:
+		path := is.Str()
+		depth, err := s.fs.Mkdir(path)
+		s.compute(costMkdir + costPerComponent*sim.Time(depth))
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrExists)
+			return
+		}
+		s.replyOK(msg)
+	case fsUnlink:
+		path := is.Str()
+		depth, err := s.fs.Unlink(path)
+		s.compute(costUnlink + costPerComponent*sim.Time(depth))
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
+			return
+		}
+		s.replyOK(msg)
+	case fsReadDir:
+		s.reqReadDir(is, msg)
+	case fsLink:
+		oldPath, newPath := is.Str(), is.Str()
+		depth, err := s.fs.Link(oldPath, newPath)
+		s.compute(costLink + costPerComponent*sim.Time(depth))
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrExists)
+			return
+		}
+		s.replyOK(msg)
+	case fsRename:
+		oldPath, newPath := is.Str(), is.Str()
+		depth, err := s.fs.Rename(oldPath, newPath)
+		s.compute(costRename + costPerComponent*sim.Time(depth))
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrExists)
+			return
+		}
+		s.replyOK(msg)
+	case fsSync:
+		img, err := s.DumpImage()
+		s.compute(costClose)
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
+		s.SyncedImage = img
+		s.replyOK(msg)
+	default:
+		s.replyErr(s.reqs, msg, kif.ErrUnsupported)
+	}
+}
+
+func (s *Service) lookup(path string) (*Inode, int, error) {
+	ino, depth, err := s.fs.Lookup(path)
+	return ino, depth, err
+}
+
+func (s *Service) reqOpen(sess *session, is *kif.IStream, msg *dtu.Message) {
+	path, flags := is.Str(), is.U64()
+	ino, depth, err := s.fs.Lookup(path)
+	s.compute(costOpen + costPerComponent*sim.Time(depth))
+	if err != nil {
+		if flags&flagCreate == 0 {
+			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
+			return
+		}
+		ino, _, err = s.fs.Create(path)
+		if err != nil {
+			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
+			return
+		}
+	} else if flags&flagTrunc != 0 && !ino.Dir {
+		s.fs.Truncate(ino, 0)
+	}
+	sess.nextFD++
+	fd := sess.nextFD
+	sess.files[fd] = &openFile{ino: ino, writable: flags&flagWrite != 0}
+	var o kif.OStream
+	// The reply carries size AND allocated bytes, so the client knows
+	// which positions are covered by existing extents (append into a
+	// partially used last block locates instead of allocating).
+	o.Err(kif.OK).U64(fd).U64(uint64(ino.Size)).U64(uint64(len(ino.Extents)))
+	o.U64(uint64(ino.AllocBlocks * s.fs.BlockSize))
+	s.reply(s.reqs, msg, &o)
+}
+
+func (s *Service) reqClose(sess *session, is *kif.IStream, msg *dtu.Message) {
+	fd, size := is.U64(), int64(is.U64())
+	of := sess.files[fd]
+	if of == nil {
+		s.replyErr(s.reqs, msg, kif.ErrInvalidArgs)
+		return
+	}
+	s.compute(costClose)
+	if of.writable {
+		s.fs.Truncate(of.ino, size)
+	}
+	delete(sess.files, fd)
+	s.replyOK(msg)
+}
+
+// reqReadDir returns directory entries in chunks of up to 8, starting
+// at index.
+func (s *Service) reqReadDir(is *kif.IStream, msg *dtu.Message) {
+	path, idx := is.Str(), int(is.U64())
+	names, dir, err := s.fs.ReadDir(path)
+	if err != nil {
+		s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
+		return
+	}
+	sortStrings(names)
+	s.compute(costReadDir)
+	const chunk = 8
+	var o kif.OStream
+	o.Err(kif.OK)
+	end := idx + chunk
+	if end > len(names) {
+		end = len(names)
+	}
+	if idx > end {
+		idx = end
+	}
+	o.U64(uint64(len(names))).U64(uint64(end - idx))
+	for _, n := range names[idx:end] {
+		child := s.fs.Child(dir, n)
+		o.Str(n)
+		if child != nil && child.Dir {
+			o.U64(1)
+		} else {
+			o.U64(0)
+		}
+	}
+	s.reply(s.reqs, msg, &o)
+}
+
+func (s *Service) replyStat(msg *dtu.Message, ino *Inode) {
+	var o kif.OStream
+	o.Err(kif.OK).U64(uint64(ino.Size))
+	if ino.Dir {
+		o.U64(1)
+	} else {
+		o.U64(0)
+	}
+	o.U64(ino.Ino).U64(uint64(len(ino.Extents))).U64(uint64(ino.Nlink))
+	s.reply(s.reqs, msg, &o)
+}
+
+func (s *Service) replyOK(msg *dtu.Message) {
+	var o kif.OStream
+	o.Err(kif.OK)
+	s.reply(s.reqs, msg, &o)
+}
+
+func (s *Service) replyErr(rg *m3.RecvGate, msg *dtu.Message, e kif.Error) {
+	var o kif.OStream
+	o.Err(e)
+	s.reply(rg, msg, &o)
+}
+
+func (s *Service) reply(rg *m3.RecvGate, msg *dtu.Message, o *kif.OStream) {
+	if err := rg.Reply(msg, o.Bytes()); err != nil {
+		panic(fmt.Sprintf("m3fs: reply failed: %v", err))
+	}
+}
+
+func (s *Service) compute(n sim.Time) { s.env.Ctx.Compute(n) }
+
+// sortStrings is a tiny insertion sort to avoid importing sort for hot
+// paths with small n.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SessionCount returns the number of live sessions (tests).
+func (s *Service) SessionCount() int { return len(s.sessions) }

@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSPMReadWrite(t *testing.T) {
+	s := NewSPM(1024)
+	if s.Size() != 1024 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	in := []byte("hello scratchpad")
+	if err := s.Write(100, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := s.Read(100, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("got %q, want %q", out, in)
+	}
+}
+
+func TestSPMBounds(t *testing.T) {
+	s := NewSPM(64)
+	cases := []struct {
+		addr, n int
+	}{
+		{-1, 4}, {60, 8}, {64, 1}, {0, 65},
+	}
+	for _, c := range cases {
+		if err := s.Write(c.addr, make([]byte, c.n)); err == nil {
+			t.Fatalf("write at %d len %d should fail", c.addr, c.n)
+		}
+		if err := s.Read(c.addr, make([]byte, c.n)); err == nil {
+			t.Fatalf("read at %d len %d should fail", c.addr, c.n)
+		}
+	}
+}
+
+func TestSPMRoundTripProperty(t *testing.T) {
+	s := NewSPM(4096)
+	f := func(addr uint16, data []byte) bool {
+		a := int(addr) % 2048
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		if err := s.Write(a, data); err != nil {
+			return false
+		}
+		out := make([]byte, len(data))
+		if err := s.Read(a, out); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMAccessTiming(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDRAM(e, DRAMConfig{Size: 1 << 20, Latency: 20})
+	var done sim.Time
+	e.Spawn("rw", func(p *sim.Process) {
+		buf := []byte("payload")
+		if err := d.Access(p, true, 0, buf, nil); err != nil {
+			t.Error(err)
+		}
+		done = p.Now()
+	})
+	e.Run()
+	if done != 20 {
+		t.Fatalf("write took %d cycles, want 20 (latency only, untimed stream)", done)
+	}
+	got := make([]byte, 7)
+	if err := d.Peek(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("dram contents = %q", got)
+	}
+}
+
+func TestDRAMPortContention(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDRAM(e, DRAMConfig{Size: 1024, Ports: 1, Latency: 10})
+	var t1, t2 sim.Time
+	e.Spawn("a", func(p *sim.Process) {
+		if err := d.Access(p, false, 0, make([]byte, 8), func() { p.Sleep(90) }); err != nil {
+			t.Error(err)
+		}
+		t1 = p.Now()
+	})
+	e.Spawn("b", func(p *sim.Process) {
+		if err := d.Access(p, false, 0, make([]byte, 8), nil); err != nil {
+			t.Error(err)
+		}
+		t2 = p.Now()
+	})
+	e.Run()
+	if t1 != 100 {
+		t.Fatalf("first access finished at %d, want 100", t1)
+	}
+	if t2 != 110 {
+		t.Fatalf("second access finished at %d, want 110 (queued behind first)", t2)
+	}
+}
+
+func TestDRAMTwoPortsOverlap(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDRAM(e, DRAMConfig{Size: 1024, Ports: 2, Latency: 10})
+	var finished []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Spawn("x", func(p *sim.Process) {
+			if err := d.Access(p, false, 0, make([]byte, 8), nil); err != nil {
+				t.Error(err)
+			}
+			finished = append(finished, p.Now())
+		})
+	}
+	e.Run()
+	if len(finished) != 2 || finished[0] != 10 || finished[1] != 10 {
+		t.Fatalf("finish times = %v, want both 10", finished)
+	}
+}
+
+func TestDRAMBounds(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDRAM(e, DRAMConfig{Size: 128})
+	e.Spawn("oob", func(p *sim.Process) {
+		if err := d.Access(p, false, 120, make([]byte, 16), nil); err == nil {
+			t.Error("out-of-bounds access should fail")
+		}
+	})
+	e.Run()
+	if err := d.Poke(-1, []byte{1}); err == nil {
+		t.Fatal("negative poke should fail")
+	}
+	if err := d.Peek(128, []byte{1}); err == nil {
+		t.Fatal("peek past end should fail")
+	}
+}
+
+func TestDRAMPokePeek(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDRAM(e, DRAMConfig{Size: 256})
+	if err := d.Poke(10, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 3)
+	if err := d.Peek(10, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("peek = %v", out)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+// Package noc models the packet-switched network-on-chip that connects
+// the processing elements and the DRAM tile.
+//
+// The network is a 2D mesh with dimension-ordered (XY) routing. The
+// timing model is virtual cut-through: a packet's head pays a fixed
+// per-hop router latency, the body streams at the link bandwidth, and
+// each traversed link stays busy for the packet's serialization time.
+// Under no contention the end-to-end latency of an S-byte packet over h
+// hops is h*HopLatency + ceil(S/LinkBytesPerCycle) cycles — which gives
+// the DTU its 8 bytes/cycle streaming bandwidth from the paper.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies a mesh node: y*Width + x.
+type NodeID int
+
+// Packet is one network transfer. Size covers everything on the wire
+// (header + payload). Payload is the semantic content interpreted by
+// the destination's handler (a DTU message, an RDMA request, ...).
+type Packet struct {
+	Src, Dst NodeID
+	Size     int
+	Payload  any
+}
+
+// Handler consumes packets delivered at a node. Deliver runs in engine
+// context and must not block; implementations hand work that needs
+// simulated time to a resident process via queues/signals.
+type Handler interface {
+	Deliver(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// Deliver calls f(pkt).
+func (f HandlerFunc) Deliver(pkt *Packet) { f(pkt) }
+
+// Config parameterizes a mesh network.
+type Config struct {
+	Width, Height int
+	// HopLatency is the per-router head latency in cycles (default 3).
+	HopLatency sim.Time
+	// LinkBytesPerCycle is the link (and thus DTU streaming) bandwidth
+	// (default 8, the paper's DTU bandwidth).
+	LinkBytesPerCycle int
+	// Unlimited disables link contention: packets still pay latency and
+	// serialization but never queue. Figure 6 uses this ("we assume the
+	// NoC scales perfectly").
+	Unlimited bool
+	// Torus adds wrap-around links in both dimensions, halving the
+	// worst-case hop count; routing stays dimension-ordered and picks
+	// the shorter direction per dimension.
+	Torus bool
+}
+
+// Network is a 2D-mesh NoC.
+type Network struct {
+	eng      *sim.Engine
+	cfg      Config
+	handlers []Handler
+	links    map[linkKey]*sim.Resource
+
+	// PacketsSent counts injected packets; BytesSent the wire bytes.
+	PacketsSent uint64
+	BytesSent   uint64
+}
+
+type linkKey struct{ from, to NodeID }
+
+// New returns a mesh network with Width*Height nodes.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 3
+	}
+	if cfg.LinkBytesPerCycle == 0 {
+		cfg.LinkBytesPerCycle = 8
+	}
+	return &Network{
+		eng:      eng,
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Width*cfg.Height),
+		links:    make(map[linkKey]*sim.Resource),
+	}
+}
+
+// Config returns the network parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Nodes returns the number of mesh nodes.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Attach registers the handler that consumes packets addressed to id.
+func (n *Network) Attach(id NodeID, h Handler) {
+	n.checkNode(id)
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("noc: node %d already attached", id))
+	}
+	n.handlers[id] = h
+}
+
+// XY returns the mesh coordinates of id.
+func (n *Network) XY(id NodeID) (x, y int) {
+	n.checkNode(id)
+	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
+}
+
+// ID returns the node id at mesh coordinates (x, y).
+func (n *Network) ID(x, y int) NodeID {
+	id := NodeID(y*n.cfg.Width + x)
+	n.checkNode(id)
+	return id
+}
+
+// Route returns the XY route from src to dst as the sequence of visited
+// nodes, excluding src and including dst. An empty route means src ==
+// dst (local delivery). On a torus, each dimension walks the shorter
+// direction, wrapping around the edge.
+func (n *Network) Route(src, dst NodeID) []NodeID {
+	sx, sy := n.XY(src)
+	dx, dy := n.XY(dst)
+	var route []NodeID
+	x, y := sx, sy
+	stepX := n.step(sx, dx, n.cfg.Width)
+	for x != dx {
+		x = wrap(x+stepX, n.cfg.Width)
+		route = append(route, n.ID(x, y))
+	}
+	stepY := n.step(sy, dy, n.cfg.Height)
+	for y != dy {
+		y = wrap(y+stepY, n.cfg.Height)
+		route = append(route, n.ID(x, y))
+	}
+	return route
+}
+
+// step returns the per-hop delta (+1 or -1) to move from a to b along
+// a dimension of the given extent.
+func (n *Network) step(a, b, extent int) int {
+	if a == b {
+		return 0
+	}
+	forward := wrap(b-a, extent)
+	if n.cfg.Torus && forward > extent-forward {
+		return -1
+	}
+	if !n.cfg.Torus && b < a {
+		return -1
+	}
+	return 1
+}
+
+func wrap(v, extent int) int {
+	v %= extent
+	if v < 0 {
+		v += extent
+	}
+	return v
+}
+
+// Hops returns the number of router hops between src and dst.
+func (n *Network) Hops(src, dst NodeID) int {
+	sx, sy := n.XY(src)
+	dx, dy := n.XY(dst)
+	hx, hy := abs(sx-dx), abs(sy-dy)
+	if n.cfg.Torus {
+		if w := n.cfg.Width - hx; w < hx {
+			hx = w
+		}
+		if w := n.cfg.Height - hy; w < hy {
+			hy = w
+		}
+	}
+	return hx + hy
+}
+
+// SerializationTime returns the cycles the body of a size-byte packet
+// occupies a link.
+func (n *Network) SerializationTime(size int) sim.Time {
+	bpc := n.cfg.LinkBytesPerCycle
+	return sim.Time((size + bpc - 1) / bpc)
+}
+
+// TransferTime returns the uncontended end-to-end latency of a
+// size-byte packet from src to dst.
+func (n *Network) TransferTime(src, dst NodeID, size int) sim.Time {
+	return sim.Time(n.Hops(src, dst))*n.cfg.HopLatency + n.SerializationTime(size)
+}
+
+// Send injects pkt, blocking p for the end-to-end transfer time plus
+// any link queueing, then delivers it to the destination handler. The
+// calling process models the transfer engine pushing the packet (a DTU
+// command or a memory tile streaming a response).
+func (n *Network) Send(p *sim.Process, pkt *Packet) {
+	n.checkNode(pkt.Src)
+	n.checkNode(pkt.Dst)
+	n.PacketsSent++
+	n.BytesSent += uint64(pkt.Size)
+	ser := n.SerializationTime(pkt.Size)
+	if pkt.Src != pkt.Dst {
+		prev := pkt.Src
+		for _, next := range n.Route(pkt.Src, pkt.Dst) {
+			link := n.link(prev, next)
+			if link != nil {
+				link.Acquire(p, 1)
+				// The link stays busy while the body streams through;
+				// the head moves on after the router latency.
+				lk := link
+				n.eng.Schedule(n.cfg.HopLatency+ser, func() { lk.Release(1) })
+			}
+			p.Sleep(n.cfg.HopLatency)
+			prev = next
+		}
+	}
+	// Body drains into the destination.
+	p.Sleep(ser)
+	h := n.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: packet for unattached node %d", pkt.Dst))
+	}
+	h.Deliver(pkt)
+}
+
+// link returns the contention resource for the directed link prev→next,
+// or nil when contention modelling is disabled.
+func (n *Network) link(prev, next NodeID) *sim.Resource {
+	if n.cfg.Unlimited {
+		return nil
+	}
+	k := linkKey{prev, next}
+	r, ok := n.links[k]
+	if !ok {
+		r = sim.NewResource(n.eng, 1)
+		n.links[k] = r
+	}
+	return r
+}
+
+func (n *Network) checkNode(id NodeID) {
+	if int(id) < 0 || int(id) >= len(n.handlers) {
+		panic(fmt.Sprintf("noc: node %d out of range (mesh %dx%d)", id, n.cfg.Width, n.cfg.Height))
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

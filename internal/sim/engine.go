@@ -1,0 +1,157 @@
+// Package sim provides a deterministic, process-based discrete-event
+// simulation engine. It is the substrate on which the hardware models
+// (NoC, DRAM, DTU, PEs) and all simulated software run.
+//
+// The engine advances a cycle-granular clock and executes events in
+// (time, sequence) order, so a given configuration always produces the
+// same schedule. Simulated activities are either plain callbacks or
+// processes: goroutines that run in strict hand-off with the engine —
+// at most one goroutine (the engine or a single process) executes at any
+// moment, which makes the simulation deterministic despite using
+// goroutines for control flow.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated time stamp, measured in cycles.
+type Time uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the simulated clock and the event queue.
+//
+// All interaction with an Engine must happen from simulation context:
+// either from inside a callback scheduled on it or from a process spawned
+// on it. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// parked is signalled by the currently running process when it
+	// yields control back to the engine.
+	parked  chan struct{}
+	current *Process
+
+	liveProcs int
+	executed  uint64
+
+	tracer func(at Time, source, event string)
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() Time { return e.now }
+
+// ExecutedEvents returns the number of events executed so far, a cheap
+// progress and determinism metric.
+func (e *Engine) ExecutedEvents() uint64 { return e.executed }
+
+// Schedule registers fn to run after delay cycles. Callbacks run in the
+// engine's goroutine and must not block; to model blocking behaviour use
+// a Process.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Pending reports whether any events remain queued.
+func (e *Engine) Pending() bool { return len(e.events) > 0 }
+
+// LiveProcesses returns the number of spawned processes that have not
+// yet returned. Processes blocked forever (e.g. a server loop waiting
+// for requests after the workload finished) keep this non-zero without
+// keeping the event queue non-empty.
+func (e *Engine) LiveProcesses() int { return e.liveProcs }
+
+// Run executes events until the queue is empty and returns the final
+// simulated time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time stamps <= limit. Events scheduled
+// later remain queued. It returns the current time after the last
+// executed event.
+func (e *Engine) RunUntil(limit Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		e.step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (%d < %d)", ev.at, e.now))
+	}
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+}
+
+// resume hands control to p and blocks the engine until p yields.
+func (e *Engine) resume(p *Process) {
+	if p.dead {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.current = prev
+}
+
+// SetTracer installs a callback receiving (time, source, event) lines
+// from instrumented components (DTUs, the kernel). Tracing is off by
+// default; call sites guard event-string formatting with Tracing.
+func (e *Engine) SetTracer(fn func(at Time, source, event string)) { e.tracer = fn }
+
+// Tracing reports whether a tracer is installed.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Emit delivers one trace event at the current time.
+func (e *Engine) Emit(source, event string) {
+	if e.tracer != nil {
+		e.tracer(e.now, source, event)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import "fmt"
+
+// Process is a simulated thread of execution: a goroutine that runs in
+// strict hand-off with the engine. Process methods that block (Sleep,
+// Signal.Wait, Queue.Recv, Resource.Acquire) yield control back to the
+// engine and are resumed by a later event.
+//
+// A Process must only be used from its own goroutine (the function
+// passed to Spawn).
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+
+	// done is signalled when the process function returns.
+	done *Signal
+}
+
+// Spawn creates a process named name and schedules it to start at the
+// current simulated time. The function fn runs on its own goroutine in
+// hand-off with the engine; when fn returns the process terminates and
+// its Done signal fires.
+func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	p.done = NewSignal(e)
+	e.liveProcs++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.dead = true
+			e.liveProcs--
+			p.done.Broadcast()
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// Name returns the name given at Spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Done returns a signal that fires when the process function returns.
+// Another process can Join by waiting on it.
+func (p *Process) Done() *Signal { return p.done }
+
+// Dead reports whether the process function has returned.
+func (p *Process) Dead() bool { return p.dead }
+
+// park yields control to the engine; the process stays blocked until an
+// event resumes it.
+func (p *Process) park() {
+	p.eng.parked <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's simulated time by d cycles. Other events
+// run in the meantime.
+func (p *Process) Sleep(d Time) {
+	p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind all events
+// already queued for this cycle.
+func (p *Process) Yield() { p.Sleep(0) }
+
+// Join blocks until other has terminated. Joining a dead process
+// returns immediately.
+func (p *Process) Join(other *Process) {
+	if other.dead {
+		return
+	}
+	other.done.Wait(p)
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("proc(%s)", p.name)
+}

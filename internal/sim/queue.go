@@ -1,0 +1,56 @@
+package sim
+
+// Queue is an unbounded FIFO channel between processes. Senders never
+// block; receivers block until an item is available. Items are
+// delivered in send order, receivers are served in arrival order.
+type Queue[T any] struct {
+	eng   *Engine
+	items []T
+	avail *Signal
+}
+
+// NewQueue returns an empty queue bound to eng.
+func NewQueue[T any](eng *Engine) *Queue[T] {
+	return &Queue[T]{eng: eng, avail: NewSignal(eng)}
+}
+
+// Send appends item and wakes one waiting receiver. Safe to call from
+// callbacks as well as processes.
+func (q *Queue[T]) Send(item T) {
+	q.items = append(q.items, item)
+	q.avail.Notify()
+}
+
+// Recv blocks p until an item is available, then removes and returns
+// the oldest item.
+func (q *Queue[T]) Recv(p *Process) T {
+	for len(q.items) == 0 {
+		q.avail.Wait(p)
+	}
+	item := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	// If more items remain, keep waking receivers so several waiters
+	// queued behind one Send-burst all make progress.
+	if len(q.items) > 0 {
+		q.avail.Notify()
+	}
+	return item
+}
+
+// TryRecv removes and returns the oldest item without blocking. ok is
+// false if the queue is empty.
+func (q *Queue[T]) TryRecv() (item T, ok bool) {
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,73 @@
+package tile
+
+import (
+	"fmt"
+
+	"repro/internal/dtu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// memTile fronts the DRAM module on the NoC. It speaks the same RDMA
+// protocol as a DTU-fronted scratchpad, so a memory endpoint works
+// identically whether it points at DRAM or at another PE's SPM.
+type memTile struct {
+	eng  *sim.Engine
+	net  *noc.Network
+	node noc.NodeID
+	dram *mem.DRAM
+	reqs *sim.Queue[*noc.Packet]
+}
+
+func newMemTile(eng *sim.Engine, net *noc.Network, node noc.NodeID, dram *mem.DRAM) *memTile {
+	m := &memTile{eng: eng, net: net, node: node, dram: dram, reqs: sim.NewQueue[*noc.Packet](eng)}
+	net.Attach(node, m)
+	// One worker per DRAM port lets independent accesses overlap when
+	// the module has multiple ports; the port resource inside mem.DRAM
+	// provides the actual admission control.
+	for i := 0; i < dram.Ports().Capacity(); i++ {
+		eng.Spawn(fmt.Sprintf("memtile%d-w%d", node, i), m.serve)
+	}
+	return m
+}
+
+// Deliver implements noc.Handler.
+func (m *memTile) Deliver(pkt *noc.Packet) {
+	switch pkt.Payload.(type) {
+	case *dtu.MemReadReq, *dtu.MemWriteReq:
+		m.reqs.Send(pkt)
+	default:
+		panic(fmt.Sprintf("tile: memory tile got %T", pkt.Payload))
+	}
+}
+
+func (m *memTile) serve(p *sim.Process) {
+	for {
+		pkt := m.reqs.Recv(p)
+		switch req := pkt.Payload.(type) {
+		case *dtu.MemReadReq:
+			buf := make([]byte, req.Len)
+			resp := &dtu.MemResp{OpID: req.OpID}
+			err := m.dram.Access(p, false, req.Addr, buf, func() {
+				// Stream the response while the port is held: the port
+				// is busy exactly as long as data leaves the module.
+				resp.Data = buf
+				m.net.Send(p, &noc.Packet{
+					Src: m.node, Dst: req.Src, Size: dtu.HeaderSize + len(buf), Payload: resp,
+				})
+			})
+			if err != nil {
+				resp.Err = err.Error()
+				m.net.Send(p, &noc.Packet{Src: m.node, Dst: req.Src, Size: 16, Payload: resp})
+			}
+		case *dtu.MemWriteReq:
+			resp := &dtu.MemResp{OpID: req.OpID}
+			err := m.dram.Access(p, true, req.Addr, req.Data, nil)
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			m.net.Send(p, &noc.Packet{Src: m.node, Dst: req.Src, Size: 16, Payload: resp})
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package tile
+
+import (
+	"testing"
+
+	"repro/internal/dtu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestPlatformLayout(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Homogeneous(5))
+	if len(p.PEs) != 5 {
+		t.Fatalf("PEs = %d", len(p.PEs))
+	}
+	// 5 PEs + memory tile need a mesh of >= 6 nodes.
+	if p.Net.Nodes() < 6 {
+		t.Fatalf("mesh nodes = %d", p.Net.Nodes())
+	}
+	if got := p.PEByNode(p.DRAMNode); got != nil {
+		t.Fatalf("DRAM node resolved to PE %d", got.ID)
+	}
+	if got := p.PEByNode(2); got == nil || got.ID != 2 {
+		t.Fatal("PEByNode(2) broken")
+	}
+}
+
+func TestHeterogeneousTypes(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Config{PEs: []CoreType{CoreXtensa, CoreFFT, CoreXtensa}})
+	if p.PEs[1].Type != CoreFFT {
+		t.Fatalf("PE1 type = %s", p.PEs[1].Type)
+	}
+	id := p.FindPE(CoreFFT, func(pe *PE) bool { return false })
+	if id != 1 {
+		t.Fatalf("FindPE(fft) = %d, want 1", id)
+	}
+	if got := p.FindPE("gpu", func(pe *PE) bool { return false }); got != -1 {
+		t.Fatalf("FindPE(gpu) = %d, want -1", got)
+	}
+}
+
+func TestStartProgramComputes(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Homogeneous(2))
+	var end sim.Time
+	p.PEs[0].Start("work", func(c *Ctx) {
+		c.Compute(1234)
+		end = c.Now()
+	})
+	eng.Run()
+	if end != 1234 {
+		t.Fatalf("end = %d, want 1234", end)
+	}
+	if p.PEs[0].Running() {
+		t.Fatal("program should be done")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Homogeneous(1))
+	p.PEs[0].Start("a", func(c *Ctx) { c.Compute(10) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start on busy PE must panic")
+		}
+	}()
+	p.PEs[0].Start("b", func(c *Ctx) {})
+}
+
+func TestRDMAtoDRAMThroughMemTile(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Homogeneous(2))
+	pe := p.PEs[0]
+	if err := pe.DTU.Configure(3, dtu.Endpoint{
+		Type: dtu.EpMemory, MemTarget: p.DRAMNode, MemAddr: 4096, MemSize: 8192, MemPerms: dtu.PermRW,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var readBack []byte
+	pe.Start("rdma", func(c *Ctx) {
+		if err := pe.DTU.WriteMem(c.P, 3, 0, data); err != nil {
+			t.Error(err)
+		}
+		readBack = make([]byte, 4096)
+		if err := pe.DTU.ReadMem(c.P, 3, 0, readBack); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	for i := range data {
+		if readBack[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, readBack[i], data[i])
+		}
+	}
+	// And the DRAM module really holds the data at 4096.
+	got := make([]byte, 4)
+	if err := p.DRAM.Peek(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 || got[2] != 2 {
+		t.Fatalf("dram = %v", got)
+	}
+}
+
+func TestDRAMBandwidthEightBytesPerCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPlatform(eng, Homogeneous(1))
+	pe := p.PEs[0]
+	if err := pe.DTU.Configure(0, dtu.Endpoint{
+		Type: dtu.EpMemory, MemTarget: p.DRAMNode, MemAddr: 0, MemSize: 1 << 20, MemPerms: dtu.PermRead,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const size = 64 << 10
+	var took sim.Time
+	pe.Start("read", func(c *Ctx) {
+		start := c.Now()
+		if err := pe.DTU.ReadMem(c.P, 0, 0, make([]byte, size)); err != nil {
+			t.Error(err)
+		}
+		took = c.Now() - start
+	})
+	eng.Run()
+	// Dominated by size/8 cycles streaming; overhead (hops, latency,
+	// request) is small and fixed.
+	ideal := sim.Time(size / 8)
+	if took < ideal || took > ideal+200 {
+		t.Fatalf("64 KiB read took %d cycles, want ~%d (8 B/cycle)", took, ideal)
+	}
+}
+
+func TestDRAMPortContentionSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := Homogeneous(2)
+	cfg.DRAM = mem.DRAMConfig{Size: 1 << 20, Ports: 1}
+	p := NewPlatform(eng, cfg)
+	const size = 32 << 10
+	var finish []sim.Time
+	for i := 0; i < 2; i++ {
+		pe := p.PEs[i]
+		if err := pe.DTU.Configure(0, dtu.Endpoint{
+			Type: dtu.EpMemory, MemTarget: p.DRAMNode, MemAddr: 0, MemSize: 1 << 20, MemPerms: dtu.PermRead,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		pe.Start("read", func(c *Ctx) {
+			if err := pe.DTU.ReadMem(c.P, 0, 0, make([]byte, size)); err != nil {
+				t.Error(err)
+			}
+			finish = append(finish, c.Now())
+		})
+	}
+	eng.Run()
+	if len(finish) != 2 {
+		t.Fatal("missing finishes")
+	}
+	ser := sim.Time(size / 8)
+	// The second reader must wait roughly one full streaming time
+	// behind the first at the single DRAM port.
+	gap := finish[1] - finish[0]
+	if gap < ser/2 {
+		t.Fatalf("finish gap = %d, want >= %d (port serialization)", gap, ser/2)
+	}
+}

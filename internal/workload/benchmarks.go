@@ -1,0 +1,422 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The five application-level benchmarks of §5.6. File sizes and item
+// counts follow the paper: cat+tr pipes a 64 KiB file, tar/untar work
+// on a 1.2 MiB archive of 60–500 KiB files, find walks a 40-item tree,
+// and sqlite creates a table, inserts 8 entries, and selects them.
+
+// Application compute costs (cycles) — identical on both systems, as
+// the cores are cycle-equivalent (§5.1).
+const (
+	trCostPerByte    = 1
+	tarHeaderCost    = 2000
+	findMatchCost    = 3000
+	sqliteOpenCost   = 400000
+	sqliteCreateCost = 250000
+	sqliteInsertCost = 180000
+	sqliteSelectCost = 500000
+	sqlitePageSize   = 4096
+)
+
+// CatTr is benchmark 1: a child writes a 64 KiB file into a pipe; the
+// parent reads the pipe, replaces all "a" with "b", and writes the
+// result into a new file. It exercises application loading, pipes, and
+// the filesystem.
+func CatTr() Benchmark {
+	const size = 64 << 10
+	return Benchmark{
+		Name: "cat+tr",
+		PEs:  2,
+		Setup: func(os OS) error {
+			return writePattern(os, "/input.txt", size, 'a')
+		},
+		Run: func(os OS) error {
+			r, wait, err := os.PipeFromChild("cat", func(cos OS, w File) {
+				f, err := cos.Open("/input.txt", Read)
+				if err != nil {
+					return
+				}
+				_, _ = CopyAll(cos, w, f, 4096)
+				_ = f.Close()
+				_ = w.Close()
+			})
+			if err != nil {
+				return err
+			}
+			out, err := os.Open("/output.txt", Write|Create|Trunc)
+			if err != nil {
+				return err
+			}
+			buf := make([]byte, 4096)
+			for {
+				n, rerr := r.Read(buf)
+				if n > 0 {
+					os.Compute(uint64(n) * trCostPerByte) // tr a -> b
+					for i := 0; i < n; i++ {
+						if buf[i] == 'a' {
+							buf[i] = 'b'
+						}
+					}
+					if _, werr := out.Write(buf[:n]); werr != nil {
+						return werr
+					}
+				}
+				if rerr != nil {
+					if !errors.Is(rerr, io.EOF) {
+						return rerr
+					}
+					break
+				}
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			_ = r.Close()
+			wait()
+			return nil
+		},
+	}
+}
+
+// tarSizes are the archived file sizes: between 60 and 500 KiB,
+// 1.2 MiB in total (§5.6).
+var tarSizes = []int{60 << 10, 100 << 10, 150 << 10, 200 << 10, 219 << 10, 500 << 10}
+
+const tarHeaderSize = 512
+
+// Tar is benchmark 2: create a tar archive from the source files.
+func Tar() Benchmark {
+	return Benchmark{
+		Name: "tar",
+		PEs:  1,
+		Setup: func(os OS) error {
+			if err := os.Mkdir("/src"); err != nil {
+				return err
+			}
+			for i, size := range tarSizes {
+				if err := writePattern(os, tarMemberPath(i), size, byte('A'+i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Run: func(os OS) error {
+			arch, err := os.Open("/archive.tar", Write|Create|Trunc)
+			if err != nil {
+				return err
+			}
+			hdr := make([]byte, tarHeaderSize)
+			for i, size := range tarSizes {
+				os.Compute(tarHeaderCost) // build the header
+				name := tarMemberPath(i)
+				copy(hdr, name)
+				putSize(hdr[100:], size)
+				if _, err := arch.Write(hdr); err != nil {
+					return err
+				}
+				f, err := os.Open(name, Read)
+				if err != nil {
+					return err
+				}
+				if _, err := CopyAll(os, arch, f, 4096); err != nil {
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			return arch.Close()
+		},
+	}
+}
+
+// Untar is benchmark 3: unpack the same archive.
+func Untar() Benchmark {
+	t := Tar()
+	return Benchmark{
+		Name: "untar",
+		PEs:  1,
+		Setup: func(os OS) error {
+			if err := t.Setup(os); err != nil {
+				return err
+			}
+			if err := t.Run(os); err != nil {
+				return err
+			}
+			if err := os.Mkdir("/dst"); err != nil {
+				return err
+			}
+			return nil
+		},
+		Run: func(os OS) error {
+			arch, err := os.Open("/archive.tar", Read)
+			if err != nil {
+				return err
+			}
+			hdr := make([]byte, tarHeaderSize)
+			for {
+				n, rerr := io.ReadFull(fileReader{arch}, hdr)
+				if rerr != nil || n < tarHeaderSize {
+					break
+				}
+				os.Compute(tarHeaderCost) // parse the header
+				name := cstr(hdr[:100])
+				size := getSize(hdr[100:])
+				base := name[strings.LastIndex(name, "/")+1:]
+				out, err := os.Open("/dst/"+base, Write|Create|Trunc)
+				if err != nil {
+					return err
+				}
+				if err := copyN(os, out, arch, size); err != nil {
+					return err
+				}
+				if err := out.Close(); err != nil {
+					return err
+				}
+			}
+			return arch.Close()
+		},
+	}
+}
+
+// Find is benchmark 4: search for files within a directory tree of 40
+// items. It consists mostly of stat calls (§5.6).
+func Find() Benchmark {
+	// 4 directories with 9 files each = 40 items.
+	return Benchmark{
+		Name: "find",
+		PEs:  1,
+		Setup: func(os OS) error {
+			if err := os.Mkdir("/tree"); err != nil {
+				return err
+			}
+			for d := 0; d < 4; d++ {
+				dir := fmt.Sprintf("/tree/dir%d", d)
+				if err := os.Mkdir(dir); err != nil {
+					return err
+				}
+				for f := 0; f < 9; f++ {
+					name := fmt.Sprintf("%s/file%d.txt", dir, f)
+					if f%3 == 0 {
+						name = fmt.Sprintf("%s/match%d.log", dir, f)
+					}
+					if err := writePattern(os, name, 128, 'x'); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Run: func(os OS) error {
+			matches := 0
+			var walk func(dir string) error
+			walk = func(dir string) error {
+				names, err := os.ReadDir(dir)
+				if err != nil {
+					return err
+				}
+				for _, name := range names {
+					full := dir + "/" + name
+					st, err := os.Stat(full)
+					if err != nil {
+						return err
+					}
+					os.Compute(findMatchCost) // pattern match on the name
+					if strings.HasSuffix(name, ".log") {
+						matches++
+					}
+					if st.IsDir {
+						if err := walk(full); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			if err := walk("/tree"); err != nil {
+				return err
+			}
+			if matches != 12 {
+				return fmt.Errorf("find: %d matches, want 12", matches)
+			}
+			return nil
+		},
+	}
+}
+
+// Sqlite is benchmark 5: create a table, insert 8 entries, and select
+// them. Computation makes up the majority of the execution time
+// (§5.6), with page-sized database I/O in between.
+func Sqlite() Benchmark {
+	return Benchmark{
+		Name:  "sqlite",
+		PEs:   1,
+		Setup: func(os OS) error { return nil },
+		Run: func(os OS) error {
+			os.Compute(sqliteOpenCost)
+			db, err := os.Open("/test.db", Read|Write|Create)
+			if err != nil {
+				return err
+			}
+			page := make([]byte, sqlitePageSize)
+			// CREATE TABLE: root page write.
+			os.Compute(sqliteCreateCost)
+			fill(page, 0xC3)
+			if _, err := db.Write(page); err != nil {
+				return err
+			}
+			// 8 INSERTs: compute + journal write + page write.
+			jrn, err := os.Open("/test.db-journal", Write|Create|Trunc)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 8; i++ {
+				os.Compute(sqliteInsertCost)
+				fill(page, byte(i))
+				if _, err := jrn.Write(page); err != nil {
+					return err
+				}
+				if _, err := db.Write(page); err != nil {
+					return err
+				}
+			}
+			if err := jrn.Close(); err != nil {
+				return err
+			}
+			if err := os.Unlink("/test.db-journal"); err != nil {
+				return err
+			}
+			if err := db.Close(); err != nil {
+				return err
+			}
+			// SELECT: re-open, read the pages back, evaluate.
+			db, err = os.Open("/test.db", Read)
+			if err != nil {
+				return err
+			}
+			for {
+				if _, err := db.Read(page); err != nil {
+					break
+				}
+			}
+			os.Compute(sqliteSelectCost)
+			return db.Close()
+		},
+	}
+}
+
+// All returns the five benchmarks in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{CatTr(), Tar(), Untar(), Find(), Sqlite()}
+}
+
+// ByName returns a benchmark by name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// --- helpers ---
+
+func tarMemberPath(i int) string { return fmt.Sprintf("/src/file%d.dat", i) }
+
+// writePattern creates path with size bytes of the given fill.
+func writePattern(os OS, path string, size int, fill byte) error {
+	f, err := os.Open(path, Write|Create|Trunc)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = fill
+	}
+	for written := 0; written < size; {
+		n := len(buf)
+		if size-written < n {
+			n = size - written
+		}
+		if _, err := f.Write(buf[:n]); err != nil {
+			return err
+		}
+		written += n
+	}
+	return f.Close()
+}
+
+// copyN copies exactly n bytes, using the in-kernel path when the OS
+// has one (untar uses sendfile on Linux, §5.6).
+func copyN(os OS, dst, src File, n int) error {
+	for n > 0 {
+		c, ok, err := os.CopyRange(dst, src, n)
+		if !ok {
+			break
+		}
+		n -= c
+		if err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4096)
+	for n > 0 {
+		c := len(buf)
+		if n < c {
+			c = n
+		}
+		r, err := src.Read(buf[:c])
+		if r > 0 {
+			if _, werr := dst.Write(buf[:r]); werr != nil {
+				return werr
+			}
+			n -= r
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fill(b []byte, v byte) {
+	for i := range b {
+		b[i] = v
+	}
+}
+
+func cstr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func putSize(b []byte, size int) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(size >> (8 * i))
+	}
+}
+
+func getSize(b []byte) int {
+	size := 0
+	for i := 0; i < 8; i++ {
+		size |= int(b[i]) << (8 * i)
+	}
+	return size
+}
+
+// fileReader adapts File to io.Reader for io.ReadFull.
+type fileReader struct{ f File }
+
+func (r fileReader) Read(p []byte) (int, error) { return r.f.Read(p) }

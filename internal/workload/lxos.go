@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/linuxos"
+	"repro/internal/sim"
+)
+
+// LxOS adapts a Linux process to the workload interface.
+type LxOS struct {
+	Sys  *linuxos.System
+	Proc *linuxos.Proc
+}
+
+var _ OS = (*LxOS)(nil)
+
+// NewLxOS wraps an existing process.
+func NewLxOS(sys *linuxos.System, pr *linuxos.Proc) *LxOS {
+	return &LxOS{Sys: sys, Proc: pr}
+}
+
+// Compute models application work.
+func (o *LxOS) Compute(cycles uint64) { o.Proc.Compute(sim.Time(cycles)) }
+
+// Open opens path.
+func (o *LxOS) Open(path string, flags OpenFlags) (File, error) {
+	var lf linuxos.OpenFlags
+	if flags&Read != 0 {
+		lf |= linuxos.ORead
+	}
+	if flags&Write != 0 {
+		lf |= linuxos.OWrite
+	}
+	if flags&Create != 0 {
+		lf |= linuxos.OCreate
+	}
+	if flags&Trunc != 0 {
+		lf |= linuxos.OTrunc
+	}
+	fd, err := o.Proc.Open(path, lf)
+	if err != nil {
+		return nil, err
+	}
+	return &lxFile{pr: o.Proc, fd: fd, regular: true}, nil
+}
+
+// Stat returns file metadata.
+func (o *LxOS) Stat(path string) (Stat, error) {
+	st, err := o.Proc.Stat(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{Size: st.Size, IsDir: st.IsDir}, nil
+}
+
+// Mkdir creates a directory.
+func (o *LxOS) Mkdir(path string) error { return o.Proc.Mkdir(path) }
+
+// Unlink removes a file.
+func (o *LxOS) Unlink(path string) error { return o.Proc.Unlink(path) }
+
+// ReadDir lists entry names.
+func (o *LxOS) ReadDir(path string) ([]string, error) { return o.Proc.ReadDir(path) }
+
+// CopyRange uses sendfile for regular files (§5.6).
+func (o *LxOS) CopyRange(dst, src File, n int) (int, bool, error) {
+	d, ok1 := dst.(*lxFile)
+	s, ok2 := src.(*lxFile)
+	if !ok1 || !ok2 || !d.regular || !s.regular {
+		return 0, false, nil
+	}
+	c, err := o.Proc.Sendfile(d.fd, s.fd, n)
+	return c, true, err
+}
+
+// CoreType: Linux runs on the general-purpose core only.
+func (o *LxOS) CoreType() string { return "" }
+
+// PipeFromChild forks a child holding the pipe's write end.
+func (o *LxOS) PipeFromChild(name string, childFn func(os OS, w File)) (File, func(), error) {
+	rfd, wfd := o.Proc.Pipe()
+	child := o.Proc.Fork(name, func(ch *linuxos.Proc) {
+		_ = ch.Close(rfd)
+		cos := NewLxOS(o.Sys, ch)
+		w := &lxFile{pr: ch, fd: wfd}
+		childFn(cos, w)
+		_ = w.Close()
+	})
+	_ = o.Proc.Close(wfd)
+	wait := func() { o.Proc.Wait(child) }
+	return &lxFile{pr: o.Proc, fd: rfd}, wait, nil
+}
+
+// PipeToChild forks a child holding the pipe's read end; peType is
+// meaningless on Linux (no accelerator cores are reachable, which is
+// the paper's point).
+func (o *LxOS) PipeToChild(name, peType string, childFn func(os OS, r File)) (File, func(), error) {
+	rfd, wfd := o.Proc.Pipe()
+	child := o.Proc.Fork(name, func(ch *linuxos.Proc) {
+		_ = ch.Close(wfd)
+		cos := NewLxOS(o.Sys, ch)
+		r := &lxFile{pr: ch, fd: rfd}
+		childFn(cos, r)
+		_ = r.Close()
+	})
+	_ = o.Proc.Close(rfd)
+	wait := func() { o.Proc.Wait(child) }
+	return &lxFile{pr: o.Proc, fd: wfd}, wait, nil
+}
+
+// lxFile adapts a file descriptor.
+type lxFile struct {
+	pr      *linuxos.Proc
+	fd      int
+	regular bool
+	closed  bool
+}
+
+func (f *lxFile) Read(b []byte) (int, error)  { return f.pr.Read(f.fd, b) }
+func (f *lxFile) Write(b []byte) (int, error) { return f.pr.Write(f.fd, b) }
+func (f *lxFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.pr.Close(f.fd)
+}
+func (f *lxFile) Seek(off int64, whence int) (int64, error) {
+	if !f.regular {
+		return 0, errors.New("workload: seek on pipe")
+	}
+	return f.pr.Seek(f.fd, off, whence)
+}
+
+var _ io.Reader = (*lxFile)(nil)

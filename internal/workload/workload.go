@@ -1,0 +1,125 @@
+// Package workload implements the paper's application-level benchmarks
+// (§5.6) once, against an OS-neutral interface, and provides adapters
+// for both M3 (libm3) and the Linux model — the same methodology as the
+// paper's cat+tr benchmark, which used "the same code for M3 and
+// Linux, except for programming against libm3".
+package workload
+
+import (
+	"errors"
+	"io"
+)
+
+// OpenFlags mirrors the flag sets of both systems.
+type OpenFlags uint32
+
+// Open flags.
+const (
+	Read OpenFlags = 1 << iota
+	Write
+	Create
+	Trunc
+)
+
+// Stat is the metadata subset the benchmarks need.
+type Stat struct {
+	Size  int64
+	IsDir bool
+}
+
+// File is an open file or pipe end.
+type File interface {
+	Read(buf []byte) (int, error)
+	Write(buf []byte) (int, error)
+	Close() error
+}
+
+// SeekableFile additionally supports Seek; regular files implement it.
+type SeekableFile interface {
+	File
+	Seek(off int64, whence int) (int64, error)
+}
+
+// OS is the per-process view of an operating system.
+type OS interface {
+	// Compute models application work in cycles.
+	Compute(cycles uint64)
+
+	Open(path string, flags OpenFlags) (File, error)
+	Stat(path string) (Stat, error)
+	Mkdir(path string) error
+	Unlink(path string) error
+	ReadDir(path string) ([]string, error)
+
+	// PipeFromChild starts a child process/VPE running child with the
+	// write end of a fresh pipe and returns the read end plus a wait
+	// function. The child receives its own OS handle.
+	PipeFromChild(name string, child func(os OS, w File)) (File, func(), error)
+
+	// PipeToChild starts a child with the read end and returns the
+	// write end: the FFT filter-chain shape (§5.8). peType requests a
+	// specific core type ("" = same as parent); on Linux it is ignored.
+	PipeToChild(name, peType string, child func(os OS, r File)) (File, func(), error)
+
+	// CopyRange copies n bytes from src to dst using an in-kernel path
+	// when the OS has one (sendfile on Linux, §5.6); handled reports
+	// whether it did. Callers fall back to read+write loops.
+	CopyRange(dst, src File, n int) (int, bool, error)
+
+	// CoreType returns the type of the core the process runs on ("" on
+	// Linux): programs pick accelerated code paths with it.
+	CoreType() string
+}
+
+// CopyAll copies src to dst in bufSize chunks, preferring the OS copy
+// path, and returns the bytes moved.
+func CopyAll(os OS, dst, src File, bufSize int) (int, error) {
+	if n, ok, err := copyByRange(os, dst, src); ok {
+		return n, err
+	}
+	buf := make([]byte, bufSize)
+	total := 0
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += n
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return total, nil
+			}
+			return total, rerr
+		}
+	}
+}
+
+func copyByRange(os OS, dst, src File) (int, bool, error) {
+	total := 0
+	for {
+		n, ok, err := os.CopyRange(dst, src, 64<<10)
+		if !ok {
+			return 0, false, nil
+		}
+		total += n
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return total, true, nil
+			}
+			return total, true, err
+		}
+	}
+}
+
+// Benchmark is one application-level workload: Setup prepares the
+// filesystem (not measured), Run is the measured phase.
+type Benchmark struct {
+	Name  string
+	Setup func(os OS) error
+	Run   func(os OS) error
+	// PEs is the number of application PEs one instance occupies on M3
+	// (cat+tr needs two, §5.7).
+	PEs int
+}
