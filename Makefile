@@ -1,0 +1,19 @@
+# Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
+
+.PHONY: ci build test vet bench
+
+ci:
+	./ci.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/m3vet ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate. Every PR must pass this script unchanged.
+#
+#   build      the whole module compiles
+#   go vet     the stock Go checks
+#   m3vet      the repo's own determinism & isolation linter
+#              (see docs/ANALYSIS.md)
+#   tests      the full suite under the race detector — any data race
+#              would mean the sim's strict goroutine hand-off is broken
+set -eux
+
+go build ./...
+go vet ./...
+go run ./cmd/m3vet ./...
+go test -race ./...

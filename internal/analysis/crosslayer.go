@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// CrossLayer enforces the paper's isolation story at the import graph:
+// PEs interact with the system only through their DTU, so the hardware
+// tiles, the accelerators, and the workloads must never reach into the
+// kernel directly, and nothing but the hardware layers may touch the
+// NoC. An import edge that violates this is an architectural bug even
+// if the code happens to work today.
+var CrossLayer = &Analyzer{
+	Name: "crosslayer",
+	Doc:  "forbid imports that bypass the DTU isolation boundary",
+	Run:  runCrossLayer,
+}
+
+// crossLayerBans maps an importing package prefix to the import paths
+// it must not name and the reason why.
+var crossLayerBans = []struct {
+	from      string
+	forbidden string
+	why       string
+}{
+	{"repro/internal/tile", "repro/internal/core", "hardware tiles are configured by the kernel over the NoC, never the reverse"},
+	{"repro/internal/accel", "repro/internal/core", "accelerators reach the system only through their DTU"},
+	{"repro/internal/accel", "repro/internal/dtu", "accelerator logic runs behind the tile abstraction, not on raw DTUs"},
+	{"repro/internal/workload", "repro/internal/core", "workloads are user programs; they talk to the kernel via syscall messages through libm3"},
+	{"repro/internal/workload", "repro/internal/dtu", "workloads use the m3 gate API, not raw DTU endpoints"},
+	// workload -> noc is covered by the NoC importer allowlist below.
+}
+
+// nocImporters are the only packages allowed to import the NoC model:
+// the DTU (the PEs' sole interface), the tiles that instantiate the
+// network, and the kernel that addresses nodes when configuring remote
+// endpoints.
+var nocImporters = map[string]bool{
+	"repro/internal/dtu":  true,
+	"repro/internal/tile": true,
+	"repro/internal/core": true,
+}
+
+func runCrossLayer(pass *Pass) {
+	path := pass.Pkg.Path
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			target := strings.Trim(imp.Path.Value, `"`)
+			for _, ban := range crossLayerBans {
+				if underPrefix(path, ban.from) && underPrefix(target, ban.forbidden) {
+					pass.Reportf(imp.Pos(), "%s must not import %s: %s", path, target, ban.why)
+				}
+			}
+			if target == "repro/internal/noc" && !nocImporters[path] && !underPrefix(path, "repro/internal/noc") {
+				pass.Reportf(imp.Pos(),
+					"%s must not import the NoC model: PEs interact only through their DTU", path)
+			}
+		}
+	}
+}
+
+// underPrefix reports whether path is prefix itself or below it.
+func underPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckLite flags dropped error results from the kernel and DTU
+// APIs. A swallowed dtu.Send error means a syscall or service request
+// silently never happened; a swallowed kif.Error from the capability
+// layer means an isolation decision was ignored. Unlike a full errcheck
+// this rule is scoped to the two packages whose errors are part of the
+// isolation story, so it stays noise-free.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "flag dropped error returns from internal/core and internal/dtu APIs",
+	Run:  runErrCheckLite,
+}
+
+// errSourcePkgs are the packages whose error returns must be consumed.
+var errSourcePkgs = map[string]bool{
+	"repro/internal/core": true,
+	"repro/internal/dtu":  true,
+}
+
+func runErrCheckLite(pass *Pass) {
+	info := pass.Pkg.Info
+	check := func(call *ast.CallExpr) {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || !errSourcePkgs[fn.Pkg().Path()] {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorLike(sig.Results().At(i).Type()) {
+				pass.Reportf(call.Pos(),
+					"result of %s.%s carries an error; check it (assign to _ only with an //m3vet:allow reason)",
+					fn.Pkg().Name(), fn.Name())
+				return
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+				return false
+			case *ast.GoStmt:
+				check(n.Call)
+				return false
+			case *ast.DeferStmt:
+				check(n.Call)
+				return false
+			case *ast.AssignStmt:
+				// A call whose every result lands in the blank
+				// identifier is as dropped as a bare statement.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				check(call)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isErrorLike reports whether t is the built-in error interface or the
+// kernel interface's kif.Error status code.
+func isErrorLike(t types.Type) bool {
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/kif" && obj.Name() == "Error"
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+)
+
+// MagicCost flags integer literals used as cycle costs at
+// Schedule/Sleep/compute call sites. Calibrated costs belong in a
+// package's costs.go table where they carry a name, a paper citation,
+// and one place to retune; a bare `compute(p, 40)` is a number nobody
+// can audit against §5.3. The literal 0 is exempt ("run now" /
+// "yield" is scheduling, not a modeled cost).
+var MagicCost = &Analyzer{
+	Name: "magiccost",
+	Doc:  "flag integer-literal cycle costs outside the costs.go tables",
+	Run:  runMagicCost,
+}
+
+// costFuncs are the call names through which simulated cycles are
+// spent.
+var costFuncs = map[string]bool{"Schedule": true, "Sleep": true, "compute": true}
+
+func runMagicCost(pass *Pass) {
+	if !simFacing[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if filepath.Base(pass.Pkg.Fset.Position(f.Pos()).Filename) == "costs.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !costFuncs[calleeName(call)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v, ok := intLiteral(pass, arg); ok && v != 0 {
+					pass.Reportf(arg.Pos(),
+						"magic cycle cost %d in call to %s; give it a name in the package's costs.go table", v, calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// intLiteral unwraps parentheses and type conversions (sim.Time(40))
+// and returns the value of an integer literal argument.
+func intLiteral(pass *Pass, e ast.Expr) (int64, bool) {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return intLiteral(pass, call.Args[0])
+		}
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

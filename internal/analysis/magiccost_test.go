@@ -1,0 +1,69 @@
+package analysis
+
+import "testing"
+
+func TestMagicCostFlagsLiterals(t *testing.T) {
+	src := `package mem
+
+type Time uint64
+
+type Eng struct{}
+
+func (Eng) Schedule(d Time, fn func()) {}
+
+type Proc struct{}
+
+func (Proc) Sleep(d Time) {}
+
+type K struct{}
+
+func (K) compute(p Proc, n Time) {}
+
+const costX Time = 40
+
+func f(e Eng, p Proc, k K, n Time) {
+	e.Schedule(0, nil)
+	e.Schedule(25, nil)
+	p.Sleep(Time(7))
+	p.Sleep(costX)
+	p.Sleep(n + 1)
+	k.compute(p, 40)
+}
+`
+	got := runOn(t, []*Analyzer{MagicCost}, "repro/internal/mem", map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, []finding{
+		{21, "magiccost"}, // Schedule(25, ...); Schedule(0, ...) above is exempt
+		{22, "magiccost"}, // conversion-wrapped literal Time(7)
+		{25, "magiccost"}, // compute(p, 40); named costX and n+1 are exempt
+	})
+}
+
+func TestMagicCostExemptsCostsFileAndHostPackages(t *testing.T) {
+	pkg := `package mem
+
+type Time uint64
+
+type Proc struct{}
+
+func (Proc) Sleep(d Time) {}
+`
+	costs := `package mem
+
+// The cost table itself may carry literals; that is its job.
+func warm(p Proc) { p.Sleep(99) }
+`
+	got := runOn(t, []*Analyzer{MagicCost}, "repro/internal/mem",
+		map[string]string{"a.go": pkg, "costs.go": costs}, nil)
+	checkFindings(t, got, nil)
+
+	host := `package bench
+
+type Proc struct{}
+
+func (Proc) Sleep(d uint64) {}
+
+func f(p Proc) { p.Sleep(500) }
+`
+	got = runOn(t, []*Analyzer{MagicCost}, "repro/internal/bench", map[string]string{"f.go": host}, nil)
+	checkFindings(t, got, nil)
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeterminism forbids the three host-nondeterminism leaks that can
+// silently skew a cycle-accurate run: wall-clock time, math/rand, and
+// iteration over Go maps (whose order is randomized per range). It
+// applies to the simulation-facing packages only; host-side tooling
+// (cmd/*, the bench wall-clock printer) may use real time freely.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall-clock time, math/rand, and unsorted map iteration in simulation code",
+	Run:  runNoDeterminism,
+}
+
+// timeFuncs are the wall-clock entry points of package time that leak
+// host state into the simulation.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runNoDeterminism(pass *Pass) {
+	if !simFacing[pass.Pkg.Path] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: simulation code must not use host randomness; derive pseudo-random state from simulated inputs", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && timeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"call to time.%s: simulation code must use the engine clock (sim.Time), not wall-clock time", fn.Name())
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok && !isKeyCollectLoop(n) {
+					pass.Reportf(n.Pos(),
+						"iteration over map %s has randomized order; collect and sort the keys first (or //m3vet:allow if provably order-independent)", types.TypeString(t, nil))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop recognizes the sorted-iteration idiom's first half:
+// a range over a map whose body does nothing but append the key to a
+// slice ("keys = append(keys, k)"). Such loops are order-independent;
+// the caller is expected to sort the collected slice before use.
+func isKeyCollectLoop(n *ast.RangeStmt) bool {
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || n.Value != nil || len(n.Body.List) != 1 {
+		return false
+	}
+	assign, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() || len(call.Args) != 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && dst.Name == lhs.Name && arg.Name == key.Name
+}

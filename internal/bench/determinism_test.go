@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"repro/internal/linuxos"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -28,6 +31,49 @@ func TestM3RunDeterministic(t *testing.T) {
 		}
 		if again != first {
 			t.Fatalf("run %d differs: %+v vs %+v", i+2, again, first)
+		}
+	}
+}
+
+// tracedRun executes one full workload with a tracer installed and
+// returns the engine statistics plus an FNV hash of the complete event
+// stream (time, source, payload of every trace line).
+func tracedRun(t *testing.T, b workload.Benchmark) (RunStats, uint64) {
+	t.Helper()
+	h := fnv.New64a()
+	opt := M3Options{Tracer: func(at sim.Time, source, event string) {
+		fmt.Fprintf(h, "%d %s %s\n", at, source, event)
+	}}
+	_, st, err := RunM3Stats(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, h.Sum64()
+}
+
+// TestTraceDeterministic is the runtime witness for the invariants
+// m3vet enforces statically: two runs of the same mid-size workload
+// must execute the identical event schedule — same event count, same
+// final time, and the same hash over every trace line. A single
+// unsorted map walk on a kernel path (e.g. reverting the sorted
+// iteration in core/caps.go revokeAll) perturbs the schedule and makes
+// this fail.
+func TestTraceDeterministic(t *testing.T) {
+	b, err := workload.ByName("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, h1 := tracedRun(t, b)
+	if st1.ExecutedEvents == 0 {
+		t.Fatal("run executed no events")
+	}
+	for i := 0; i < 2; i++ {
+		st2, h2 := tracedRun(t, b)
+		if st1 != st2 {
+			t.Fatalf("run %d stats differ: %+v vs %+v", i+2, st2, st1)
+		}
+		if h1 != h2 {
+			t.Fatalf("run %d trace hash differs: %#x vs %#x (same stats %+v — an order-only divergence)", i+2, h2, h1, st1)
 		}
 	}
 }

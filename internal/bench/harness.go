@@ -51,6 +51,9 @@ type M3Options struct {
 	// (Figure 4).
 	AppendBlocks int
 	NoMerge      bool
+	// Tracer, if set, receives every trace event of the run; the
+	// determinism regression test hashes this stream.
+	Tracer func(at sim.Time, source, event string)
 }
 
 // m3System is a booted M3 platform.
@@ -88,6 +91,9 @@ func bootM3NoFS(opt M3Options, appPEs int) *m3System {
 	if opt.DRAMSize > 0 {
 		cfg.DRAM.Size = opt.DRAMSize
 	}
+	if opt.Tracer != nil {
+		eng.SetTracer(opt.Tracer)
+	}
 	plat := tile.NewPlatform(eng, cfg)
 	kern := core.Boot(plat, 0)
 	return &m3System{eng: eng, plat: plat, kern: kern}
@@ -107,9 +113,25 @@ func (s *m3System) xferCycles() sim.Time {
 	return sim.Time(bytes/8) + sim.Time(ops)*perOp
 }
 
+// RunStats describes the simulation run itself, independent of the
+// workload's cycle breakdown: the exact number of executed events and
+// the final simulated time. Two runs of the same configuration must
+// produce identical RunStats — this is the runtime witness for the
+// determinism invariants m3vet enforces statically.
+type RunStats struct {
+	ExecutedEvents uint64
+	FinalTime      sim.Time
+}
+
 // RunM3 executes one benchmark on a fresh M3 system and returns the
 // measured breakdown of the run phase.
 func RunM3(b workload.Benchmark, opt M3Options) (Breakdown, error) {
+	bd, _, err := RunM3Stats(b, opt)
+	return bd, err
+}
+
+// RunM3Stats is RunM3 plus engine-level run statistics.
+func RunM3Stats(b workload.Benchmark, opt M3Options) (Breakdown, RunStats, error) {
 	s := bootM3(opt, b.PEs)
 	var bd Breakdown
 	var runErr error
@@ -150,10 +172,11 @@ func RunM3(b workload.Benchmark, opt M3Options) (Breakdown, error) {
 		env.Exit(0)
 	})
 	if err != nil {
-		return bd, err
+		return bd, RunStats{}, err
 	}
 	s.eng.Run()
-	return bd, runErr
+	st := RunStats{ExecutedEvents: s.eng.ExecutedEvents(), FinalTime: s.eng.Now()}
+	return bd, st, runErr
 }
 
 // RunLx executes one benchmark on a fresh Linux system with the given

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/kif"
 )
@@ -172,9 +173,19 @@ func (c *Capability) removeChild(child *Capability) {
 	}
 }
 
-// revokeAll drops every capability in the table (VPE teardown).
+// revokeAll drops every capability in the table (VPE teardown). The
+// selectors are walked in sorted order: revocation triggers session
+// closes and memory releases, so the walk order is part of the event
+// schedule and must not depend on map iteration order.
 func (t *CapTable) revokeAll(onDrop func(*Capability)) {
+	sels := make([]kif.CapSel, 0, len(t.caps))
 	for sel := range t.caps {
+		sels = append(sels, sel)
+	}
+	sort.Slice(sels, func(i, j int) bool { return sels[i] < sels[j] })
+	for _, sel := range sels {
+		// Revoking one capability may already have removed children
+		// that shared the table, so re-check each selector.
 		if c, ok := t.caps[sel]; ok {
 			c.Revoke(onDrop)
 		}

@@ -28,4 +28,11 @@ const (
 	CostExchange  sim.Time = 100
 	CostPerCap    sim.Time = 40
 	CostRevokeCap sim.Time = 30
+
+	// CostServReply covers routing a service-protocol reply to the
+	// waiting helper activity in the kernel dispatch loop.
+	CostServReply sim.Time = 20
+	// CostSessSetup covers installing the session capability after the
+	// service accepted an open request.
+	CostSessSetup sim.Time = 40
 )

@@ -219,7 +219,7 @@ func (k *Kernel) dispatch(p *sim.Process) {
 		msg, ep := d.WaitMsg(p, kif.KSyscallEP, kif.KServReplyEP)
 		if ep == kif.KServReplyEP {
 			// Service-protocol reply: route to the waiting helper.
-			k.compute(p, 20)
+			k.compute(p, CostServReply)
 			if pend, ok := k.pendingServ[msg.Label]; ok {
 				pend.msg = msg
 				pend.sig.Broadcast()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
@@ -109,7 +110,7 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 		serr := ris.ErrCode()
 		ident := ris.U64()
 		k.PE.DTU.Ack(kif.KServReplyEP, resp)
-		k.compute(hp, 40)
+		k.compute(hp, CostSessSetup)
 		if serr != kif.OK {
 			k.replyErr(hp, msg, serr)
 			return
@@ -131,10 +132,18 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 }
 
 // findServiceSel locates the service capability in its owner's table so
-// sessions can hang off it in the revocation tree.
+// sessions can hang off it in the revocation tree. The table is walked
+// in sorted selector order so a (hypothetical) duplicate registration
+// always resolves to the same parent across runs.
 func findServiceSel(svc *ServiceObj) kif.CapSel {
-	for sel, c := range svc.Owner.Caps.caps {
-		if c.Obj == svc {
+	caps := svc.Owner.Caps.caps
+	sels := make([]kif.CapSel, 0, len(caps))
+	for sel := range caps {
+		sels = append(sels, sel)
+	}
+	sort.Slice(sels, func(i, j int) bool { return sels[i] < sels[j] })
+	for _, sel := range sels {
+		if caps[sel].Obj == svc {
 			return sel
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/dtu"
 	"repro/internal/kif"
 	"repro/internal/sim"
@@ -119,7 +121,14 @@ func (k *Kernel) freePE(pe *tile.PE) {
 }
 
 // onDrop releases the kernel object of a removed capability.
+//
+// The drop is traced: revocation order is part of the event schedule
+// (session closes and memory releases happen in this order), so the
+// determinism regression test hashes these lines to witness it.
 func (k *Kernel) onDrop(c *Capability) {
+	if k.Plat.Eng.Tracing() {
+		k.Plat.Eng.Emit("kernel", fmt.Sprintf("drop %s", c))
+	}
 	switch obj := c.Obj.(type) {
 	case *MemObj:
 		if obj.root && obj.Node == k.Plat.DRAMNode {
@@ -388,7 +397,9 @@ func (k *Kernel) sysRevoke(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.M
 	// isolation is enforced at the NoC level, so the DTUs must stop
 	// honouring the revoked rights immediately.
 	for _, a := range acts {
-		_ = k.PE.DTU.ConfigureRemote(p, a.vpe.PE.Node, a.ep, dtu.Endpoint{Type: dtu.EpInvalid})
+		// A failed invalidation would leave the revoked rights live in
+		// hardware — an isolation hole, not a recoverable error.
+		mustConfig(k.PE.DTU.ConfigureRemote(p, a.vpe.PE.Node, a.ep, dtu.Endpoint{Type: dtu.EpInvalid}))
 	}
 	k.replyErr(p, msg, kif.OK)
 }

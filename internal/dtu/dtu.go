@@ -263,6 +263,8 @@ func (d *DTU) HasMsg(ep int) bool {
 func (d *DTU) WaitMsg(p *sim.Process, eps ...int) (*Message, int) {
 	for {
 		if len(eps) == 0 {
+			// d.eps is a slice, so this scan is in fixed endpoint order
+			// (lowest endpoint wins) — deterministic, unlike a map walk.
 			for i := range d.eps {
 				if m := d.Fetch(i); m != nil {
 					return m, i

@@ -125,6 +125,7 @@ func (e *Env) Exit(code int64) {
 	o.Op(kif.SysExit).I64(code)
 	e.Ctx.Compute(CostSysMarshal)
 	// Best effort: an exiting program cannot do anything about errors.
+	//m3vet:allow errchecklite the program is gone either way; the kernel reaps it via VPE wait
 	_ = e.DTU().Send(e.P(), kif.SyscallEP, o.Bytes(), -1, 0)
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/kif"
 )
@@ -147,8 +148,15 @@ func (p *PipeFS) ReadDir(path string) ([]DirEntry, error) {
 	if cleanPath(path) != "/" {
 		return nil, errors.New("m3: pipefs: flat namespace")
 	}
-	var out []DirEntry
+	// Sorted: directory listings are user-visible, so their order must
+	// not leak map iteration order into the simulation.
+	names := make([]string, 0, len(p.pipes))
 	for name := range p.pipes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]DirEntry, 0, len(names))
+	for _, name := range names {
 		out = append(out, DirEntry{Name: name[1:], IsDir: false})
 	}
 	return out, nil

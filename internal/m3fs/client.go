@@ -42,7 +42,7 @@ func Mount(env *m3.Env, service string) (*Client, error) {
 			break
 		}
 		if errors.Is(err, kif.ErrNoSuchService) && attempt < 100 {
-			env.P().Sleep(1000)
+			env.P().Sleep(costMountRetry)
 			continue
 		}
 		return nil, fmt.Errorf("m3fs: open session: %w", err)

@@ -1,0 +1,27 @@
+package m3fs
+
+import "repro/internal/sim"
+
+// Service- and client-side cycle costs, calibrated against the paper's
+// §5.4–§5.6 file-operation measurements. Keeping every constant in
+// this table (enforced by m3vet's magiccost rule) leaves one place to
+// retune and one place to audit against the paper.
+const (
+	costPerComponent sim.Time = 70  // directory lookup per path component
+	costOpen         sim.Time = 450 // fd allocation, inode load
+	costClose        sim.Time = 800 // truncation bookkeeping
+	costStat         sim.Time = 480 // inode copy-out; stat is better optimized on Linux (§5.6)
+	costMkdir        sim.Time = 250
+	costUnlink       sim.Time = 250
+	costLink         sim.Time = 300
+	costRename       sim.Time = 350
+	costReadDir      sim.Time = 120  // per chunk of entries
+	costLocate       sim.Time = 600  // extent search + cap bookkeeping
+	costAppend       sim.Time = 1000 // allocator + extent insert
+	costOpenSess     sim.Time = 250
+	costExchangeBase sim.Time = 150
+
+	// costMountRetry is the client's back-off while the service has not
+	// registered yet (boot races during Mount).
+	costMountRetry sim.Time = 1000
+)

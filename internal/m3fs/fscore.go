@@ -244,6 +244,7 @@ func (fs *FsCore) isAncestor(anc, dir *Inode) bool {
 	if anc == dir {
 		return true
 	}
+	//m3vet:allow nodeterminism boolean reachability query; the result is independent of visit order
 	for _, child := range anc.entries {
 		c := fs.inodes[child]
 		if c != nil && c.Dir && fs.isAncestor(c, dir) {
@@ -390,6 +391,7 @@ func (fs *FsCore) FindExtent(ino *Inode, off int64) (ext Extent, extOff, extLen 
 func (fs *FsCore) CheckInvariants() error {
 	seen := make(map[int]uint64)
 	total := 0
+	//m3vet:allow nodeterminism validation only accumulates commutative counts; on a consistent image the verdict is order-independent
 	for _, ino := range fs.inodes {
 		alloc := 0
 		for _, e := range ino.Extents {
@@ -418,11 +420,14 @@ func (fs *FsCore) CheckInvariants() error {
 	// Link counts must match the directory entries referencing each
 	// inode (the root has no entry but one implicit link).
 	refs := make(map[uint64]int)
+	//m3vet:allow nodeterminism reference counting is commutative
 	for _, ino := range fs.inodes {
+		//m3vet:allow nodeterminism reference counting is commutative
 		for _, child := range ino.entries {
 			refs[child]++
 		}
 	}
+	//m3vet:allow nodeterminism per-inode nlink check; the verdict is order-independent on a consistent image
 	for n, ino := range fs.inodes {
 		want := refs[n]
 		if ino == fs.root {

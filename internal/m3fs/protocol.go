@@ -1,7 +1,5 @@
 package m3fs
 
-import "repro/internal/sim"
-
 // Request-gate opcodes (client → m3fs, no kernel involvement).
 const (
 	fsOpen uint64 = iota + 1
@@ -40,23 +38,6 @@ const ServiceName = "m3fs"
 // DefaultAppendBlocks is how many blocks a write appends at once to
 // limit fragmentation; the paper's sweet spot (§5.5) is 256.
 const DefaultAppendBlocks = 256
-
-// Service-side cycle costs.
-const (
-	costPerComponent sim.Time = 70  // directory lookup per path component
-	costOpen         sim.Time = 450 // fd allocation, inode load
-	costClose        sim.Time = 800 // truncation bookkeeping
-	costStat         sim.Time = 480 // inode copy-out; stat is better optimized on Linux (§5.6)
-	costMkdir        sim.Time = 250
-	costUnlink       sim.Time = 250
-	costLink         sim.Time = 300
-	costRename       sim.Time = 350
-	costReadDir      sim.Time = 120  // per chunk of entries
-	costLocate       sim.Time = 600  // extent search + cap bookkeeping
-	costAppend       sim.Time = 1000 // allocator + extent insert
-	costOpenSess     sim.Time = 250
-	costExchangeBase sim.Time = 150
-)
 
 // Open flag bits on the wire (match m3.OpenFlags).
 const (

@@ -36,9 +36,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -62,8 +62,9 @@ type Engine struct {
 	parked  chan struct{}
 	current *Process
 
-	liveProcs int
-	executed  uint64
+	liveProcs  int
+	executed   uint64
+	deadlocked bool
 
 	tracer func(at Time, source, event string)
 }
@@ -83,7 +84,15 @@ func (e *Engine) ExecutedEvents() uint64 { return e.executed }
 // Schedule registers fn to run after delay cycles. Callbacks run in the
 // engine's goroutine and must not block; to model blocking behaviour use
 // a Process.
+//
+// Scheduling onto a deadlocked engine (see Deadlocked) panics: any new
+// event could resume a process that the finished run left parked, and
+// the resulting interaction with a drained engine hangs on the internal
+// hand-off channel. A panic names the bug instead.
 func (e *Engine) Schedule(delay Time, fn func()) {
+	if e.deadlocked {
+		panic(fmt.Sprintf("sim: Schedule on deadlocked engine (%d processes parked forever)", e.liveProcs))
+	}
 	e.seq++
 	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
 }
@@ -99,12 +108,25 @@ func (e *Engine) LiveProcesses() int { return e.liveProcs }
 
 // Run executes events until the queue is empty and returns the final
 // simulated time.
+//
+// If live processes remain when the queue drains, they are parked
+// forever: events are the only wake source, so no future step can
+// resume them. Run records this as a deadlock — a normal end state for
+// server loops (m3fs, DTU request servers) whose clients are done, but
+// a state in which scheduling new work is a bug; see Schedule.
 func (e *Engine) Run() Time {
 	for len(e.events) > 0 {
 		e.step()
 	}
+	if e.liveProcs > 0 {
+		e.deadlocked = true
+	}
 	return e.now
 }
+
+// Deadlocked reports whether a completed Run left processes parked
+// forever.
+func (e *Engine) Deadlocked() bool { return e.deadlocked }
 
 // RunUntil executes events with time stamps <= limit. Events scheduled
 // later remain queued. It returns the current time after the last

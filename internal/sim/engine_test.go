@@ -447,3 +447,34 @@ func TestResourceAvgWaitAndQueueLen(t *testing.T) {
 		t.Fatalf("avg wait = %f, want ~45", w)
 	}
 }
+
+func TestDeadlockDetectionAndSchedulePanic(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	e.Spawn("stuck", func(p *Process) { sig.Wait(p) })
+	e.Run()
+	if !e.Deadlocked() {
+		t.Fatal("engine with a forever-parked process must report Deadlocked")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule on a deadlocked engine must panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestCleanRunStaysSchedulable(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("worker", func(p *Process) { p.Sleep(5) })
+	e.Run()
+	if e.Deadlocked() {
+		t.Fatal("run with no live processes must not report a deadlock")
+	}
+	ran := false
+	e.Schedule(1, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("engine must stay usable after a clean run")
+	}
+}
