@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
 
-.PHONY: ci build test vet bench
+.PHONY: ci build test vet bench chaos fuzz
 
 ci:
 	./ci.sh
@@ -17,3 +17,15 @@ vet:
 
 bench:
 	go test -bench=. -benchmem
+
+# The chaos tier: determinism under fault injection plus the workload
+# matrix that proves isolation survives packet loss and PE crashes
+# (docs/FAULTS.md). Race-enabled — fault events must not break the
+# engine's strict hand-off.
+chaos:
+	go test -race -run 'TestFaultDeterminism|TestChaosMatrix' ./internal/bench
+
+# Short fuzz smoke over the fault-plan decoder (the full fuzzer runs
+# for as long as you let it: go test -fuzz FuzzFaultPlan ./internal/fault).
+fuzz:
+	go test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/fault

@@ -7,9 +7,14 @@
 #              (see docs/ANALYSIS.md)
 #   tests      the full suite under the race detector — any data race
 #              would mean the sim's strict goroutine hand-off is broken
+#   chaos      the fault-injection tier: determinism under faults and
+#              the isolation-survives-failure matrix (docs/FAULTS.md)
+#   fuzz       a short smoke over the fault-plan decoder
 set -eux
 
 go build ./...
 go vet ./...
 go run ./cmd/m3vet ./...
 go test -race ./...
+make chaos
+make fuzz

@@ -99,6 +99,18 @@ func runFig6() error {
 	return writeCSV(csvDir, r)
 }
 
+// runEFault reports the fault-injection degradation sweep (E-fault in
+// EXPERIMENTS.md): untar completion time under rising per-link packet
+// loss with the DTU retransmission layer armed.
+func runEFault() error {
+	r, err := bench.EFault()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
 func runFig7() error {
 	r, err := bench.Fig7()
 	if err != nil {

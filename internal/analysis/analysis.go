@@ -67,6 +67,7 @@ func All() []*Analyzer {
 		ErrCheckLite,
 		MagicCost,
 		CrossLayer,
+		FaultSite,
 	}
 }
 

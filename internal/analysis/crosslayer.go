@@ -33,12 +33,13 @@ var crossLayerBans = []struct {
 
 // nocImporters are the only packages allowed to import the NoC model:
 // the DTU (the PEs' sole interface), the tiles that instantiate the
-// network, and the kernel that addresses nodes when configuring remote
-// endpoints.
+// network, the kernel that addresses nodes when configuring remote
+// endpoints, and the fault layer that arms per-link packet faults.
 var nocImporters = map[string]bool{
-	"repro/internal/dtu":  true,
-	"repro/internal/tile": true,
-	"repro/internal/core": true,
+	"repro/internal/dtu":   true,
+	"repro/internal/tile":  true,
+	"repro/internal/core":  true,
+	"repro/internal/fault": true,
 }
 
 func runCrossLayer(pass *Pass) {

@@ -1,0 +1,91 @@
+package analysis
+
+import "testing"
+
+// simOverlay is a minimal sim package exposing the guarded Kill entry
+// point for fixture dependencies.
+var simOverlay = map[string]string{"sim.go": `package sim
+
+type Process struct{}
+
+func (p *Process) Kill() {}
+
+type Engine struct{}
+`}
+
+func TestFaultSiteFlagsForeignCallers(t *testing.T) {
+	src := `package m3fs
+
+import "repro/internal/sim"
+
+func f(p *sim.Process) {
+	p.Kill()
+}
+`
+	got := runOn(t, []*Analyzer{FaultSite}, "repro/internal/m3fs",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/sim": simOverlay})
+	checkFindings(t, got, []finding{{6, "faultsite"}})
+}
+
+func TestFaultSiteAllowsFaultPackage(t *testing.T) {
+	src := `package fault
+
+import "repro/internal/sim"
+
+func f(p *sim.Process) {
+	p.Kill()
+}
+`
+	got := runOn(t, []*Analyzer{FaultSite}, "repro/internal/fault",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/sim": simOverlay})
+	checkFindings(t, got, nil)
+}
+
+func TestFaultSiteAllowsOwningLayer(t *testing.T) {
+	// The tile layer models the hardware consequence of a crash/reset:
+	// it may kill the program process, but it may not, say, arm the
+	// death watchdog.
+	src := `package tile
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func f(p *sim.Process, k *core.Kernel) {
+	p.Kill()
+	k.EnableDeathWatch()
+}
+`
+	coreOverlay := map[string]string{"core.go": `package core
+
+type Kernel struct{}
+
+func (k *Kernel) EnableDeathWatch() {}
+`}
+	got := runOn(t, []*Analyzer{FaultSite}, "repro/internal/tile",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{
+			"repro/internal/sim":  simOverlay,
+			"repro/internal/core": coreOverlay,
+		})
+	checkFindings(t, got, []finding{{10, "faultsite"}})
+}
+
+func TestFaultSiteIgnoresUnrelatedNames(t *testing.T) {
+	// A local function that happens to be called Kill is not an entry
+	// point; only the guarded packages' functions count.
+	src := `package m3fs
+
+type job struct{}
+
+func (j *job) Kill()            {}
+func (j *job) EnableFaults()    {}
+func f(j *job)                  { j.Kill(); j.EnableFaults() }
+`
+	got := runOn(t, []*Analyzer{FaultSite}, "repro/internal/m3fs",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}

@@ -20,6 +20,7 @@ var simFacing = map[string]bool{
 	"repro/internal/mem":   true,
 	"repro/internal/tile":  true,
 	"repro/internal/accel": true,
+	"repro/internal/fault": true,
 }
 
 // simEnginePath is the only package allowed to use Go concurrency: the

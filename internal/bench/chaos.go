@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/m3"
+	"repro/internal/m3fs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+)
+
+// ChaosOutcome is the per-instance result of a chaos run. A crashed
+// instance simply stops writing: Finished stays false and EndAt marks
+// how far it got (zero if it never left the start barrier).
+type ChaosOutcome struct {
+	Name     string
+	VPE      *core.VPE
+	Finished bool
+	StartAt  sim.Time
+	EndAt    sim.Time
+	RunTime  sim.Time
+	Err      error
+}
+
+// ChaosRun exposes the full system state after a fault-injected run,
+// so tests can assert isolation properties (no live capabilities of
+// dead VPEs, deconfigured endpoints, closed sessions) rather than just
+// completion.
+type ChaosRun struct {
+	Eng      *sim.Engine
+	Plat     *tile.Platform
+	Kern     *core.Kernel
+	FS       *m3fs.Service
+	Inj      *fault.Injector
+	Stats    RunStats
+	Outcomes []ChaosOutcome
+}
+
+// RunM3Chaos runs n parallel instances of b on one M3 system under the
+// given fault plan: the chaos-tier harness. Instances report failures
+// through their outcome instead of panicking — under fault injection a
+// refused syscall or a vanished service is a result, not a harness
+// bug. The start barrier mirrors RunM3Instances; the plan is attached
+// after boot is queued and before the engine runs, so crash times are
+// absolute simulation cycles.
+func RunM3Chaos(b workload.Benchmark, n int, plan fault.Plan, opt M3Options) (*ChaosRun, error) {
+	s := bootM3NoFS(opt, n*b.PEs)
+	cr := &ChaosRun{Eng: s.eng, Plat: s.plat, Kern: s.kern}
+	fsProg := m3fs.Program(s.kern, opt.FS, func(svc *m3fs.Service) { cr.FS = svc })
+	if _, err := s.kern.StartInit("m3fs", tile.CoreXtensa, fsProg); err != nil {
+		return nil, err
+	}
+	cr.Outcomes = make([]ChaosOutcome, n)
+	ready := 0
+	startSig := sim.NewSignal(s.eng)
+	for i := 0; i < n; i++ {
+		out := &cr.Outcomes[i]
+		out.Name = fmt.Sprintf("chaos%d", i)
+		prefix := fmt.Sprintf("/i%d", i)
+		vpe, err := s.kern.StartInit(out.Name, tile.CoreXtensa, func(ctx *tile.Ctx) {
+			env := m3.NewEnv(ctx, s.kern)
+			os, err := workload.NewM3OS(env)
+			if err != nil {
+				out.Err = err
+				env.Exit(1)
+				return
+			}
+			os.Prefix = prefix
+			if err := os.Mkdir(""); err != nil {
+				out.Err = err
+				env.Exit(1)
+				return
+			}
+			if err := b.Setup(os); err != nil {
+				out.Err = err
+				env.Exit(1)
+				return
+			}
+			// Barrier: all instances enter their run phase together.
+			ready++
+			if ready == n {
+				startSig.Broadcast()
+			} else {
+				startSig.Wait(ctx.P)
+			}
+			out.StartAt = ctx.Now()
+			err = b.Run(os)
+			out.EndAt = ctx.Now()
+			if err != nil {
+				out.Err = err
+				env.Exit(1)
+				return
+			}
+			out.RunTime = out.EndAt - out.StartAt
+			out.Finished = true
+			env.Exit(0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.VPE = vpe
+	}
+	inj, err := fault.Attach(s.kern, plan)
+	if err != nil {
+		return nil, err
+	}
+	cr.Inj = inj
+	s.eng.Run()
+	cr.Stats = RunStats{ExecutedEvents: s.eng.ExecutedEvents(), FinalTime: s.eng.Now()}
+	return cr, nil
+}

@@ -91,6 +91,17 @@ func (t *CapTable) VPE() *VPE { return t.vpe }
 // Len returns the number of installed capabilities.
 func (t *CapTable) Len() int { return len(t.caps) }
 
+// Sels returns the installed selectors in sorted order (for test
+// assertions over surviving capabilities).
+func (t *CapTable) Sels() []kif.CapSel {
+	sels := make([]kif.CapSel, 0, len(t.caps))
+	for sel := range t.caps {
+		sels = append(sels, sel)
+	}
+	sort.Slice(sels, func(i, j int) bool { return sels[i] < sels[j] })
+	return sels
+}
+
 // Get returns the capability at sel if it has the wanted type.
 // CapInvalid matches any type.
 func (t *CapTable) Get(sel kif.CapSel, want CapType) (*Capability, kif.Error) {

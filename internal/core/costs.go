@@ -35,4 +35,11 @@ const (
 	// CostSessSetup covers installing the session capability after the
 	// service accepted an open request.
 	CostSessSetup sim.Time = 40
+
+	// CostProbe covers issuing one liveness probe from the death
+	// watchdog and interpreting the DTU's answer.
+	CostProbe sim.Time = 20
+	// CostReap covers the fixed part of reaping a crashed VPE
+	// (per-capability revocation is billed at CostRevokeCap on top).
+	CostReap sim.Time = 120
 )

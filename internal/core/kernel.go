@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
@@ -40,6 +41,15 @@ func (t *ProgTable) Get(id uint64) Program { return t.progs[id] }
 type Stats struct {
 	Syscalls     map[kif.SyscallOp]uint64
 	ServiceCalls uint64
+
+	// Fault-tolerance counters, nonzero only under fault injection:
+	// syscall replies abandoned after the DTU retry budget (the client
+	// died or its reply endpoint is unreachable), endpoint
+	// invalidations of a dead PE that timed out, and VPEs reaped by
+	// the death watchdog.
+	RepliesDropped      uint64
+	FailedInvalidations uint64
+	VPEsReaped          uint64
 }
 
 // Kernel is the M3 kernel instance, bound to a dedicated kernel PE.
@@ -64,6 +74,13 @@ type Kernel struct {
 
 	inits  []initAction
 	booted bool
+
+	// actSig wakes kernel helper activities that wait for a receive
+	// gate to be activated or for a VPE to die (deferred send-gate
+	// activation, §4.5.4). A kernel-wide signal keeps the wakeup order
+	// deterministic and lets VPE teardown unblock every helper that
+	// waits on a gate owned by a dead VPE.
+	actSig *sim.Signal
 
 	Stats Stats
 }
@@ -96,6 +113,7 @@ func Boot(plat *tile.Platform, kernelPE int) *Kernel {
 		dram:        newAllocator(0, plat.DRAM.Size()),
 		pendingServ: make(map[uint64]*servPending),
 		nextSrvEP:   kif.KFirstSrvEP,
+		actSig:      sim.NewSignal(plat.Eng),
 	}
 	k.peUsed[kernelPE] = true
 	mustConfig(kpe.DTU.Configure(kif.KSyscallEP, dtu.Endpoint{
@@ -137,6 +155,31 @@ func (k *Kernel) StartInit(name string, peType tile.CoreType, prog Program) (*VP
 // VPEByID returns a VPE by id (for tests and the harness).
 func (k *Kernel) VPEByID(id uint64) *VPE { return k.vpes[id] }
 
+// VPEs returns all VPEs in id order (for the death watchdog and the
+// chaos harness; the order is part of the deterministic schedule).
+func (k *Kernel) VPEs() []*VPE {
+	ids := make([]uint64, 0, len(k.vpes))
+	for id := range k.vpes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	vpes := make([]*VPE, 0, len(ids))
+	for _, id := range ids {
+		vpes = append(vpes, k.vpes[id])
+	}
+	return vpes
+}
+
+// VPEOnPE returns the non-exited VPE bound to the given PE, or nil.
+func (k *Kernel) VPEOnPE(peID int) *VPE {
+	for _, vpe := range k.VPEs() {
+		if !vpe.exited && vpe.PE != nil && vpe.PE.ID == peID {
+			return vpe
+		}
+	}
+	return nil
+}
+
 // CPU exposes the kernel CPU resource for utilisation statistics.
 func (k *Kernel) CPU() *sim.Resource { return k.cpu }
 
@@ -157,7 +200,7 @@ func (k *Kernel) newVPE(name string, pe *tile.PE) *VPE {
 
 func (k *Kernel) allocPE(peType tile.CoreType) *tile.PE {
 	for _, pe := range k.Plat.PEs {
-		if !k.peUsed[pe.ID] && (peType == "" || pe.Type == peType) {
+		if !k.peUsed[pe.ID] && !pe.Crashed() && (peType == "" || pe.Type == peType) {
 			k.peUsed[pe.ID] = true
 			return pe
 		}
@@ -187,6 +230,7 @@ func (k *Kernel) run(c *tile.Ctx) {
 	for _, init := range k.inits {
 		k.installStdEPs(p, init.vpe)
 		prog := init.prog
+		init.vpe.started = true
 		init.vpe.PE.Start(init.vpe.Name, prog)
 	}
 	k.booted = true
@@ -212,8 +256,11 @@ func (k *Kernel) installStdEPs(p *sim.Process, vpe *VPE) {
 	}))
 }
 
-// dispatch is the kernel main loop.
+// dispatch is the kernel main loop. It is a daemon for deadlock
+// accounting: a run where only the kernel still waits for messages has
+// terminated normally.
 func (k *Kernel) dispatch(p *sim.Process) {
+	p.SetDaemon()
 	d := k.PE.DTU
 	for {
 		msg, ep := d.WaitMsg(p, kif.KSyscallEP, kif.KServReplyEP)
@@ -295,6 +342,16 @@ func (k *Kernel) reply(p *sim.Process, msg *dtu.Message, o *kif.OStream) {
 		return
 	}
 	if err := k.PE.DTU.Reply(p, kif.KSyscallEP, msg, o.Bytes()); err != nil {
+		if errors.Is(err, dtu.ErrTimeout) {
+			// The client (or its reply path) is gone; under fault
+			// injection the DTU gives up after its retry budget. The
+			// kernel must stay up — drop the reply and move on.
+			k.Stats.RepliesDropped++
+			if k.Plat.Eng.Tracing() {
+				k.Plat.Eng.Emit("kernel", fmt.Sprintf("reply to vpe %d dropped: %v", msg.Label, err))
+			}
+			return
+		}
 		panic(fmt.Sprintf("core: syscall reply failed: %v", err))
 	}
 }

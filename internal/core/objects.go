@@ -21,12 +21,20 @@ type VPE struct {
 	// endpoints that still belong to revoked capabilities.
 	epCaps map[int]*Capability
 
+	started  bool
 	exited   bool
 	exitCode int64
 	exitSig  *sim.Signal
 
 	kern *Kernel
 }
+
+// CrashExitCode is the exit code recorded for a VPE whose PE crashed
+// and was reaped by the kernel's death watchdog.
+const CrashExitCode int64 = -2
+
+// Started reports whether the VPE's program was ever started.
+func (v *VPE) Started() bool { return v.started }
 
 // Exited reports whether the VPE's program has terminated.
 func (v *VPE) Exited() bool { return v.exited }
@@ -45,10 +53,11 @@ type RGateObj struct {
 	Slots    int
 
 	// Activation state: EP < 0 until the owner activates the gate.
+	// Helpers waiting for the activation sleep on the kernel-wide
+	// actSig, which VPE teardown also broadcasts so they never outlive
+	// a dead owner.
 	EP      int
 	BufAddr int
-
-	activated *sim.Signal
 }
 
 // Activated reports whether the gate is bound to an endpoint.

@@ -115,8 +115,16 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 			k.replyErr(hp, msg, serr)
 			return
 		}
-		svcCap, gerr := svc.Owner.Caps.Get(findServiceSel(svc), CapService)
 		sess := &SessObj{Service: svc, Ident: ident, Client: vpe}
+		if vpe.exited {
+			// The client died (crash reap) while the service accepted
+			// the session: close it right back instead of installing a
+			// capability into a torn-down table.
+			k.closeSession(sess)
+			k.replyErr(hp, msg, kif.ErrVPEGone)
+			return
+		}
+		svcCap, gerr := svc.Owner.Caps.Get(findServiceSel(svc), CapService)
 		var ierr kif.Error
 		if gerr == kif.OK {
 			_, ierr = vpe.Caps.InstallChild(svcCap, dstSel, CapSession, sess)
@@ -194,6 +202,12 @@ func (k *Kernel) sysExchangeSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg 
 		k.PE.DTU.Ack(kif.KServReplyEP, resp)
 		if serr != kif.OK {
 			k.replyErr(hp, msg, serr)
+			return
+		}
+		if vpe.exited || sess.Service.Owner.exited {
+			// Client or service died while the exchange was in flight;
+			// their tables are gone, nothing may be moved.
+			k.replyErr(hp, msg, kif.ErrVPEGone)
 			return
 		}
 		if srvCount > capsCount {

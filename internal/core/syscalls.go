@@ -64,6 +64,7 @@ func (k *Kernel) sysVPEStart(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 	}
 	k.compute(p, CostVPEStart)
 	k.installStdEPs(p, child)
+	child.started = true
 	child.PE.Start(child.Name, prog)
 	k.replyErr(p, msg, kif.OK)
 }
@@ -104,14 +105,27 @@ func (k *Kernel) sysExit(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.Mes
 }
 
 func (k *Kernel) destroyVPE(vpe *VPE, code int64) {
+	k.teardownVPE(vpe, code, false)
+}
+
+// teardownVPE ends a VPE: revoke all capabilities, optionally reset the
+// PE (kill the program and clear its DTU endpoints, §4.5.5), and wake
+// waiters. A crashed PE is never returned to the allocator.
+func (k *Kernel) teardownVPE(vpe *VPE, code int64, reset bool) {
 	if vpe.exited {
 		return
 	}
 	vpe.exited = true
 	vpe.exitCode = code
 	vpe.Caps.revokeAll(k.onDrop)
-	k.freePE(vpe.PE)
+	if reset {
+		vpe.PE.Reset()
+	}
+	if !vpe.PE.Crashed() {
+		k.freePE(vpe.PE)
+	}
 	vpe.exitSig.Broadcast()
+	k.actSig.Broadcast()
 }
 
 func (k *Kernel) freePE(pe *tile.PE) {
@@ -151,7 +165,7 @@ func (k *Kernel) onDrop(c *Capability) {
 	case *VPE:
 		// Revoking a VPE capability resets the PE and makes it
 		// available again (the paper, §4.5.5).
-		k.destroyVPE(obj, -1)
+		k.teardownVPE(obj, -1, true)
 	}
 }
 
@@ -236,8 +250,7 @@ func (k *Kernel) sysCreateRGate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *
 		return
 	}
 	k.compute(p, CostCreateRG)
-	obj := &RGateObj{Owner: vpe, SlotSize: slotSize, Slots: slots, EP: -1,
-		activated: sim.NewSignal(k.Plat.Eng)}
+	obj := &RGateObj{Owner: vpe, SlotSize: slotSize, Slots: slots, EP: -1}
 	if _, err := vpe.Caps.Install(dstSel, CapRGate, obj); err != kif.OK {
 		k.replyErr(p, msg, err)
 		return
@@ -312,7 +325,7 @@ func (k *Kernel) sysActivate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 		if cfgErr == nil {
 			obj.EP = ep
 			obj.BufAddr = bufAddr
-			obj.activated.Broadcast()
+			k.actSig.Broadcast()
 		}
 		k.replyConfig(p, msg, cfgErr)
 	case *SGateObj:
@@ -324,12 +337,18 @@ func (k *Kernel) sysActivate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 			k.replyConfig(p, msg, err)
 			return
 		}
-		// Defer until the receiver is ready.
+		// Defer until the receiver is ready. The helper also wakes on
+		// VPE teardown: if the requester or the gate owner dies before
+		// the activation, it must not linger forever.
 		k.Plat.Eng.Spawn("kernel-activate", func(hp *sim.Process) {
-			for !obj.RGate.Activated() {
-				obj.RGate.activated.Wait(hp)
+			for !obj.RGate.Activated() && !vpe.exited && !obj.RGate.Owner.exited {
+				k.actSig.Wait(hp)
 			}
 			k.compute(hp, CostActivate)
+			if !obj.RGate.Activated() {
+				k.replyErr(hp, msg, kif.ErrVPEGone)
+				return
+			}
 			err := k.configSend(hp, vpe, ep, obj)
 			if err == nil {
 				recordActivation(vpe, ep, cap)

@@ -20,6 +20,11 @@ var (
 	ErrBounds        = errors.New("dtu: access outside memory endpoint region")
 	ErrNoReply       = errors.New("dtu: message does not permit a reply")
 	ErrRemote        = errors.New("dtu: remote operation failed")
+	// ErrTimeout reports a transfer or remote operation that stayed
+	// unacknowledged through the whole retry budget. It only occurs
+	// with fault injection enabled (see EnableFaults); the lossless
+	// model never times out.
+	ErrTimeout = errors.New("dtu: operation timed out")
 )
 
 // DTU is one data transfer unit instance, attached to a PE's core as a
@@ -44,6 +49,16 @@ type DTU struct {
 
 	nextOp  uint64
 	pending map[uint64]*pendingOp
+
+	// Reliability state, live only when faults is non-nil (see
+	// EnableFaults): outstanding acknowledged transfers by sequence
+	// number, received (sender, seq) pairs for duplicate suppression,
+	// and the core-liveness callback probes read.
+	faults     *FaultConfig
+	nextSeq    uint64
+	sends      map[uint64]*pendingSend
+	seen       map[seqKey]bool
+	coreStatus func() bool
 
 	// reqs feeds the DTU's internal engine that serves incoming RDMA
 	// accesses to the local SPM and remote configuration requests.
@@ -95,6 +110,8 @@ func New(eng *sim.Engine, net *noc.Network, node noc.NodeID, spm *mem.SPM, numEP
 		MsgAvail:    sim.NewSignal(eng),
 		CreditAvail: sim.NewSignal(eng),
 		pending:     make(map[uint64]*pendingOp),
+		sends:       make(map[uint64]*pendingSend),
+		seen:        make(map[seqKey]bool),
 		reqs:        sim.NewQueue[*noc.Packet](eng),
 	}
 	net.Attach(node, d)
@@ -183,11 +200,10 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 		d.eng.Emit(d.traceName(), fmt.Sprintf("send ep%d -> node%d/ep%d (%d bytes, label %#x)",
 			ep, s.Target, s.TargetEP, len(data), s.Label))
 	}
-	d.net.Send(p, &noc.Packet{
+	return d.transmit(p, &noc.Packet{
 		Src: d.node, Dst: s.Target, Size: msgWireSize(len(data)),
 		Payload: &msgPacket{TargetEP: s.TargetEP, Msg: msg},
 	})
-	return nil
 }
 
 // traceName identifies the DTU in trace output.
@@ -216,11 +232,10 @@ func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
 		ReplyEP:   -1,
 	}
 	d.Stats.Replies++
-	d.net.Send(p, &noc.Packet{
+	return d.transmit(p, &noc.Packet{
 		Src: d.node, Dst: msg.ReplyNode, Size: msgWireSize(len(data)),
 		Payload: &replyPacket{TargetEP: msg.ReplyEP, CreditEP: msg.CreditEP, Msg: reply},
 	})
-	return nil
 }
 
 // Fetch returns the oldest unfetched message at receive endpoint ep, or
@@ -304,12 +319,15 @@ func (d *DTU) ReadMem(p *sim.Process, ep int, off int, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	op := d.newOp()
-	d.net.Send(p, &noc.Packet{
-		Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize,
-		Payload: &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)},
+	resp, err := d.doOp(p, func(op uint64) {
+		d.net.Send(p, &noc.Packet{
+			Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize,
+			Payload: &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)},
+		})
 	})
-	resp := d.waitOp(p, op)
+	if err != nil {
+		return err
+	}
 	if resp.resp.Err != "" {
 		return fmt.Errorf("%w: %s", ErrRemote, resp.resp.Err)
 	}
@@ -327,12 +345,15 @@ func (d *DTU) WriteMem(p *sim.Process, ep int, off int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	op := d.newOp()
-	d.net.Send(p, &noc.Packet{
-		Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)),
-		Payload: &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)},
+	resp, err := d.doOp(p, func(op uint64) {
+		d.net.Send(p, &noc.Packet{
+			Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)),
+			Payload: &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)},
+		})
 	})
-	resp := d.waitOp(p, op)
+	if err != nil {
+		return err
+	}
 	if resp.resp.Err != "" {
 		return fmt.Errorf("%w: %s", ErrRemote, resp.resp.Err)
 	}
@@ -366,11 +387,13 @@ func (d *DTU) GrantCredits(p *sim.Process, target noc.NodeID, sendEP, credits in
 	if credits <= 0 {
 		return fmt.Errorf("%w: non-positive credit grant", ErrBadEndpoint)
 	}
-	d.net.Send(p, &noc.Packet{
+	// Credit grants are not idempotent — a duplicate would double the
+	// grant — so they travel on the deduplicated reliable path rather
+	// than the op-retry path.
+	return d.transmit(p, &noc.Packet{
 		Src: d.node, Dst: target, Size: ctrlPacketSize,
 		Payload: &creditPacket{SendEP: sendEP, Credits: credits},
 	})
-	return nil
 }
 
 // ConfigureRemote writes endpoint registers of the DTU at target. Only
@@ -394,14 +417,18 @@ func (d *DTU) sendConfig(p *sim.Process, target noc.NodeID, req *ConfigReq) erro
 	if !d.privileged {
 		return ErrNotPrivileged
 	}
-	req.OpID = d.newOp()
 	req.Src = d.node
 	req.Privileged = true
-	d.net.Send(p, &noc.Packet{
-		Src: d.node, Dst: target, Size: ctrlPacketSize + 48, // register file on the wire
-		Payload: req,
+	resp, err := d.doOp(p, func(op uint64) {
+		req.OpID = op
+		d.net.Send(p, &noc.Packet{
+			Src: d.node, Dst: target, Size: ctrlPacketSize + 48, // register file on the wire
+			Payload: req,
+		})
 	})
-	resp := d.waitOp(p, req.OpID)
+	if err != nil {
+		return err
+	}
 	if resp.cfg.Err != "" {
 		return fmt.Errorf("%w: %s", ErrRemote, resp.cfg.Err)
 	}
@@ -415,9 +442,22 @@ func (d *DTU) newOp() uint64 {
 	return op
 }
 
-func (d *DTU) waitOp(p *sim.Process, op uint64) *pendingOp {
+// waitOp blocks until the operation's response arrived or, when
+// timeout is nonzero, until the timeout expired. A response that
+// lands in the same cycle as the expiry wins: the caller checks the
+// response fields, not the timer.
+func (d *DTU) waitOp(p *sim.Process, op uint64, timeout sim.Time) *pendingOp {
 	po := d.pending[op]
-	for po.resp == nil && po.cfg == nil {
+	expired := false
+	if timeout > 0 {
+		d.eng.Schedule(timeout, func() {
+			if _, ok := d.pending[op]; ok && po.resp == nil && po.cfg == nil && po.probe == nil {
+				expired = true
+				po.done.Broadcast()
+			}
+		})
+	}
+	for po.resp == nil && po.cfg == nil && po.probe == nil && !expired {
 		d.idleWait(p, po.done)
 	}
 	delete(d.pending, op)
@@ -428,7 +468,50 @@ func (d *DTU) waitOp(p *sim.Process, op uint64) *pendingOp {
 // Message and response packets are handled inline (the hardware writes
 // the ringbuffer / completion registers without software involvement);
 // RDMA and config requests are queued for the DTU's request server.
+//
+// The reliability preamble runs first: corrupted packets are poisoned
+// (NACKed if they were sequence-numbered, silently discarded
+// otherwise — retransmit and timeouts cover the loss), hardware
+// acks/nacks complete pending transmits, and sequence-numbered
+// transfers are acknowledged and deduplicated before any payload
+// takes effect, so a retransmission whose original arrived cannot
+// deliver twice.
 func (d *DTU) Deliver(pkt *noc.Packet) {
+	if pkt.Corrupt {
+		d.Stats.Poisoned++
+		if d.eng.Tracing() {
+			d.eng.Emit(d.traceName(), fmt.Sprintf("poisoned pkt from node%d seq %d", pkt.Src, pkt.Seq))
+		}
+		if pkt.Seq != 0 {
+			d.sendCtrl(pkt.Src, &nackPacket{Seq: pkt.Seq})
+		}
+		return
+	}
+	switch pl := pkt.Payload.(type) {
+	case *ackPacket:
+		if ps, ok := d.sends[pl.Seq]; ok {
+			ps.acked = true
+			ps.done.Broadcast()
+		}
+		return
+	case *nackPacket:
+		if ps, ok := d.sends[pl.Seq]; ok && !ps.acked {
+			ps.nacked = true
+			ps.done.Broadcast()
+		}
+		return
+	}
+	if pkt.Seq != 0 {
+		// Ack every copy — the previous ack may itself have been lost —
+		// but deliver only the first.
+		d.sendCtrl(pkt.Src, &ackPacket{Seq: pkt.Seq})
+		key := seqKey{src: pkt.Src, seq: pkt.Seq}
+		if d.seen[key] {
+			d.Stats.DupsDropped++
+			return
+		}
+		d.seen[key] = true
+	}
 	switch pl := pkt.Payload.(type) {
 	case *msgPacket:
 		d.receive(pl.TargetEP, pl.Msg)
@@ -449,7 +532,7 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 				d.CreditAvail.Broadcast()
 			}
 		}
-	case *MemReadReq, *MemWriteReq, *ConfigReq:
+	case *MemReadReq, *MemWriteReq, *ConfigReq, *probeReq:
 		d.reqs.Send(pkt)
 	case *MemResp:
 		if po, ok := d.pending[pl.OpID]; ok {
@@ -459,6 +542,11 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 	case *ConfigResp:
 		if po, ok := d.pending[pl.OpID]; ok {
 			po.cfg = pl
+			po.done.Broadcast()
+		}
+	case *probeResp:
+		if po, ok := d.pending[pl.OpID]; ok {
+			po.probe = pl
 			po.done.Broadcast()
 		}
 	default:
@@ -498,8 +586,9 @@ func (d *DTU) receive(ep int, msg *Message) {
 }
 
 // serve is the DTU's internal engine handling incoming RDMA accesses to
-// the local SPM and remote configuration writes.
+// the local SPM, remote configuration writes, and liveness probes.
 func (d *DTU) serve(p *sim.Process) {
+	p.SetDaemon()
 	for {
 		pkt := d.reqs.Recv(p)
 		switch req := pkt.Payload.(type) {
@@ -536,6 +625,14 @@ func (d *DTU) serve(p *sim.Process) {
 			}
 			d.net.Send(p, &noc.Packet{
 				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,
+			})
+		case *probeReq:
+			// The DTU answers for its core: it is a separate hardware
+			// block and keeps serving the NoC after a core crash.
+			crashed := d.coreStatus != nil && d.coreStatus()
+			d.net.Send(p, &noc.Packet{
+				Src: d.node, Dst: req.Src, Size: ctrlPacketSize,
+				Payload: &probeResp{OpID: req.OpID, Crashed: crashed},
 			})
 		}
 	}

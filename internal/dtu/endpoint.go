@@ -140,6 +140,17 @@ type Stats struct {
 	BytesWritten   uint64
 	ConfigsApplied uint64
 
+	// Reliability counters, nonzero only with fault injection enabled:
+	// retransmitted transfers, transfers/ops aborted after the retry
+	// budget, timed-out remote operations (each timeout retries until
+	// the budget runs out), duplicate deliveries suppressed, and
+	// corrupted packets discarded on arrival.
+	Retransmits  uint64
+	SendsAborted uint64
+	OpTimeouts   uint64
+	DupsDropped  uint64
+	Poisoned     uint64
+
 	// IdleCycles accumulates the time the attached core spent waiting
 	// on the DTU — for messages, credits, or transfer completions. The
 	// paper trades this idle time for heterogeneity support (§3.4);
@@ -147,10 +158,11 @@ type Stats struct {
 	IdleCycles uint64
 }
 
-// pendingOp tracks an outstanding remote operation (RDMA or remote
-// config) awaiting its response packet.
+// pendingOp tracks an outstanding remote operation (RDMA, remote
+// config, or probe) awaiting its response packet.
 type pendingOp struct {
-	done *sim.Signal
-	resp *MemResp
-	cfg  *ConfigResp
+	done  *sim.Signal
+	resp  *MemResp
+	cfg   *ConfigResp
+	probe *probeResp
 }

@@ -1,0 +1,220 @@
+package dtu
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Default reliability parameters, used when the fault configuration
+// leaves them zero. The timeout comfortably covers a worst-case
+// mesh traversal plus remote service time; the retry budget pushes
+// the abort probability at realistic loss rates below anything a
+// workload will ever observe (at 1% per-link loss, ~1e-14 per
+// message).
+const (
+	DefaultTimeout    sim.Time = 2000
+	DefaultMaxRetries          = 6
+)
+
+// FaultConfig switches a DTU into fault-tolerant operation. With it
+// enabled, message-class transfers (sends, replies, credit grants)
+// carry sequence numbers and are retransmitted until acknowledged,
+// and remote operations (RDMA, remote config, probes) get bounded
+// response timeouts with retry. Without it — the default — the DTU
+// behaves exactly as the lossless model always has: not a single
+// extra event is scheduled, so fault-free runs stay bit-identical to
+// the pre-fault simulator.
+//
+// Only internal/fault may enable this (m3vet: faultsite).
+type FaultConfig struct {
+	// Timeout is the initial ack/response timeout in cycles; it
+	// doubles on every retry (bounded exponential backoff).
+	Timeout sim.Time
+	// MaxRetries bounds the retransmissions/retries of one transfer
+	// before it aborts with ErrTimeout.
+	MaxRetries int
+	// PreSend, when set, runs before every fault-gated transfer; the
+	// fault layer uses it to inject transfer-engine stalls.
+	PreSend func(p *sim.Process)
+}
+
+// EnableFaults installs the reliability configuration. Zero Timeout
+// or MaxRetries fall back to the defaults.
+func (d *DTU) EnableFaults(cfg *FaultConfig) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	d.faults = cfg
+}
+
+// SetCoreStatus installs the callback a probe response reads to learn
+// whether the attached core is alive. The DTU is a separate hardware
+// block: it keeps answering probes after its core crashed — that is
+// precisely how the kernel tells a dead PE from a slow one. Wired by
+// the platform at build time; only internal/fault triggers probing.
+func (d *DTU) SetCoreStatus(fn func() bool) { d.coreStatus = fn }
+
+// ResetEndpoints clears every endpoint register, dropping any
+// buffered messages. The tile layer invokes this when the kernel
+// resets a PE (VPE teardown, §4.5.5), so a freed PE leaks no stale
+// communication rights to its next occupant.
+func (d *DTU) ResetEndpoints() {
+	for i := range d.eps {
+		d.eps[i] = epState{}
+	}
+}
+
+// stall applies the configured pre-send hook.
+func (fc *FaultConfig) stall(p *sim.Process) {
+	if fc.PreSend != nil {
+		fc.PreSend(p)
+	}
+}
+
+// pendingSend tracks one reliable outbound transfer awaiting its ack.
+type pendingSend struct {
+	done   *sim.Signal
+	acked  bool
+	nacked bool
+}
+
+// seqKey identifies a reliable transfer at the receiver for duplicate
+// suppression: sequence numbers are per-sender.
+type seqKey struct {
+	src noc.NodeID
+	seq uint64
+}
+
+// transmit pushes a message-class packet (message, reply, credit
+// grant). Without faults it is a plain NoC send. With faults the
+// packet gets a sequence number and is retransmitted — same sequence
+// number, so the receiver can deduplicate — until the receiving DTU
+// acknowledges it, the receiver NACKs a corrupted copy (immediate
+// retransmit), or the retry budget runs out (ErrTimeout). These are
+// hardware-level acks between DTUs, distinct from the software-level
+// message ack that frees a ringbuffer slot.
+func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
+	if d.faults == nil {
+		d.net.Send(p, pkt)
+		return nil
+	}
+	d.faults.stall(p)
+	d.nextSeq++
+	pkt.Seq = d.nextSeq
+	ps := &pendingSend{done: sim.NewSignal(d.eng)}
+	d.sends[pkt.Seq] = ps
+	timeout := d.faults.Timeout
+	for attempt := 0; ; attempt++ {
+		pkt.Corrupt = false // a corrupting hop taints the packet; retransmit clean
+		d.net.Send(p, pkt)
+		if ps.acked {
+			break
+		}
+		expired := false
+		d.eng.Schedule(timeout, func() {
+			// The timer belongs to this attempt only: if the transfer
+			// was acked (or aborted and forgotten) in the meantime, it
+			// must not wake anyone.
+			if s, ok := d.sends[pkt.Seq]; ok && s == ps && !ps.acked {
+				expired = true
+				ps.done.Broadcast()
+			}
+		})
+		for !ps.acked && !ps.nacked && !expired {
+			d.idleWait(p, ps.done)
+		}
+		if ps.acked {
+			break
+		}
+		if attempt >= d.faults.MaxRetries {
+			delete(d.sends, pkt.Seq)
+			d.Stats.SendsAborted++
+			if d.eng.Tracing() {
+				d.eng.Emit(d.traceName(), fmt.Sprintf("xmit seq %d -> node%d aborted after %d attempts",
+					pkt.Seq, pkt.Dst, attempt+1))
+			}
+			return fmt.Errorf("%w: transfer to node %d unacknowledged after %d attempts",
+				ErrTimeout, pkt.Dst, attempt+1)
+		}
+		if !ps.nacked {
+			timeout *= 2 // silence: back off; a NACK retransmits immediately
+		}
+		ps.nacked = false
+		d.Stats.Retransmits++
+		if d.eng.Tracing() {
+			d.eng.Emit(d.traceName(), fmt.Sprintf("xmit seq %d -> node%d retry %d",
+				pkt.Seq, pkt.Dst, attempt+1))
+		}
+	}
+	delete(d.sends, pkt.Seq)
+	return nil
+}
+
+// doOp runs one remote request/response operation (RDMA access,
+// remote config, probe): send issues the request under the given op
+// id; doOp waits for the response. Without faults the wait is
+// unbounded, as before. With faults the wait times out and the
+// operation is retried under a fresh op id with doubled timeout —
+// these operations are idempotent, and a late response to an
+// abandoned attempt is ignored because its op id is no longer
+// pending.
+func (d *DTU) doOp(p *sim.Process, send func(op uint64)) (*pendingOp, error) {
+	if d.faults == nil {
+		op := d.newOp()
+		send(op)
+		return d.waitOp(p, op, 0), nil
+	}
+	d.faults.stall(p)
+	timeout := d.faults.Timeout
+	for attempt := 0; ; attempt++ {
+		op := d.newOp()
+		send(op)
+		po := d.waitOp(p, op, timeout)
+		if po.resp != nil || po.cfg != nil || po.probe != nil {
+			return po, nil
+		}
+		d.Stats.OpTimeouts++
+		if d.eng.Tracing() {
+			d.eng.Emit(d.traceName(), fmt.Sprintf("op %d timed out (attempt %d)", op, attempt+1))
+		}
+		if attempt >= d.faults.MaxRetries {
+			d.Stats.SendsAborted++
+			return nil, fmt.Errorf("%w: remote operation unanswered after %d attempts",
+				ErrTimeout, attempt+1)
+		}
+		timeout *= 2
+	}
+}
+
+// Probe asks the DTU at target whether its attached core is alive: the
+// kernel's death-detection channel. The target's DTU answers
+// autonomously — a crashed core cannot, and need not, be involved —
+// and a fully unreachable PE surfaces as ErrTimeout after the retry
+// budget. Privileged DTUs only; requires faults enabled (the timeout
+// is what makes "no answer" an answer).
+func (d *DTU) Probe(p *sim.Process, target noc.NodeID) (bool, error) {
+	if !d.privileged {
+		return false, ErrNotPrivileged
+	}
+	po, err := d.doOp(p, func(op uint64) {
+		d.net.Send(p, &noc.Packet{
+			Src: d.node, Dst: target, Size: ctrlPacketSize,
+			Payload: &probeReq{OpID: op, Src: d.node},
+		})
+	})
+	if err != nil {
+		return false, err
+	}
+	return po.probe.Crashed, nil
+}
+
+// sendCtrl emits an autonomous control packet (ack, nack) from engine
+// context, where no sending process exists.
+func (d *DTU) sendCtrl(dst noc.NodeID, payload any) {
+	d.net.SendAsync(&noc.Packet{Src: d.node, Dst: dst, Size: ctrlPacketSize, Payload: payload})
+}

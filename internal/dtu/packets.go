@@ -74,6 +74,29 @@ type ConfigResp struct {
 	Err  string
 }
 
+// ackPacket is the hardware acknowledgement of a sequence-numbered
+// transfer; nackPacket asks for an immediate retransmission after a
+// corrupted copy arrived. Both are fire-and-forget (their own Seq is
+// zero): a lost or corrupted ack/nack is covered by the sender's
+// timeout-driven retransmit and the receiver's deduplication.
+type ackPacket struct{ Seq uint64 }
+
+type nackPacket struct{ Seq uint64 }
+
+// probeReq asks a DTU whether its attached core is alive; probeResp is
+// its autonomous answer. This is the kernel's death-detection channel
+// (the DTU "error report" of a PE whose core can no longer speak for
+// itself).
+type probeReq struct {
+	OpID uint64
+	Src  noc.NodeID
+}
+
+type probeResp struct {
+	OpID    uint64
+	Crashed bool
+}
+
 // wire size helpers: requests and acks are small control packets.
 const ctrlPacketSize = 16
 

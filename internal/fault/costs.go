@@ -1,0 +1,18 @@
+package fault
+
+import "repro/internal/sim"
+
+// Tunable defaults of the fault layer. The heartbeat is two orders of
+// magnitude above the null-syscall cost, so death detection stays a
+// background trickle; two missed beats tolerate one probe lost to the
+// very packet faults the watchdog runs under.
+const (
+	// DefaultHeartbeatPeriod is the death-watchdog probe interval.
+	DefaultHeartbeatPeriod sim.Time = 20000
+	// DefaultMaxMissedBeats is how many consecutive unanswered probes
+	// declare a VPE dead (each probe already retries at DTU level).
+	DefaultMaxMissedBeats = 2
+	// DefaultStallCycles is the extra latency of one injected
+	// transfer-engine stall.
+	DefaultStallCycles sim.Time = 150
+)

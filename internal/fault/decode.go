@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"repro/internal/dtu"
+	"repro/internal/sim"
+)
+
+// byteReader consumes a byte slice and yields zeros once exhausted, so
+// any input — fuzzer-generated included — decodes to a complete plan.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) u8() uint8 {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *byteReader) u16() uint16 {
+	return uint16(r.u8())<<8 | uint16(r.u8())
+}
+
+func (r *byteReader) u64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(r.u8())
+	}
+	return v
+}
+
+// DecodePlan derives a fault plan from raw bytes: the fuzzing front
+// end. Most knobs are range-reduced so that arbitrary input yields a
+// plan a small workload survives — loss and corruption stay below
+// ~0.8% per hop, the retry budget never drops below the default, and
+// the timeout never shrinks below a mesh round trip (an aborted boot
+// transfer would panic the kernel by design, which is a property of
+// the kernel, not a parser bug for the fuzzer to find). The crash PE
+// is taken raw so invalid targets exercise Validate's reject path.
+// Identical bytes decode to the identical plan.
+func DecodePlan(data []byte) (Plan, error) {
+	r := &byteReader{data: data}
+	p := Plan{
+		Seed:        r.u64(),
+		DropRate:    float64(r.u16()%512) / 65536,
+		CorruptRate: float64(r.u16()%512) / 65536,
+		StallRate:   float64(r.u16()%16384) / 65536,
+		StallCycles: sim.Time(r.u16() % 1024),
+		Timeout:     dtu.DefaultTimeout + sim.Time(r.u16()),
+		MaxRetries:  dtu.DefaultMaxRetries + int(r.u8()%10),
+	}
+	if hb := sim.Time(r.u16()) * 16; hb > 0 {
+		p.HeartbeatPeriod = hb
+	}
+	nb := int(r.u8() % 4)
+	for i := 0; i < nb; i++ {
+		start := sim.Time(r.u16())
+		p.Brownouts = append(p.Brownouts, Window{
+			Start:        start,
+			End:          start + sim.Time(r.u16()),
+			ExtraLatency: sim.Time(r.u16() % 256),
+		})
+	}
+	nc := int(r.u8() % 3)
+	for i := 0; i < nc; i++ {
+		p.Crashes = append(p.Crashes, Crash{
+			PE: int(r.u8()),
+			At: sim.Time(r.u16()) * 64,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -73,6 +73,7 @@ const (
 	ErrEndOfFile
 	ErrVPEGone
 	ErrRefused
+	ErrTimeout
 )
 
 var errNames = map[Error]string{
@@ -82,6 +83,7 @@ var errNames = map[Error]string{
 	ErrNoSuchFile: "no such file or directory", ErrExists: "already exists",
 	ErrUnsupported: "unsupported", ErrEndOfFile: "end of file",
 	ErrVPEGone: "vpe gone", ErrRefused: "refused by service",
+	ErrTimeout: "timed out",
 }
 
 func (e Error) Error() string {

@@ -5,6 +5,7 @@
 package m3
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -96,6 +97,12 @@ func (e *Env) Syscall(req *kif.OStream) (*kif.IStream, error) {
 	e.Ctx.Compute(CostSysMarshal)
 	d := e.DTU()
 	if err := d.Send(e.P(), kif.SyscallEP, req.Bytes(), kif.SysReplyEP, 0); err != nil {
+		if errors.Is(err, dtu.ErrTimeout) {
+			// The DTU gave up after its retry budget (fault injection);
+			// surface the protocol-level error so callers can handle it
+			// like any other kernel refusal.
+			return nil, fmt.Errorf("m3: syscall send: %w", kif.ErrTimeout)
+		}
 		return nil, fmt.Errorf("m3: syscall send: %w", err)
 	}
 	msg, _ := d.WaitMsg(e.P(), kif.SysReplyEP)

@@ -1,6 +1,7 @@
 package m3fs
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -63,6 +64,9 @@ type Service struct {
 	// Stats for the evaluation.
 	Requests  uint64
 	Exchanges uint64
+	// RepliesLost counts replies abandoned because the client became
+	// unreachable (fault injection).
+	RepliesLost uint64
 
 	// SyncedImage holds the image written by the last sync request:
 	// the stand-in for the persistent storage device the prototype
@@ -77,6 +81,13 @@ func Program(kern *core.Kernel, cfg Config, ready func(*Service)) core.Program {
 		env := m3.NewEnv(ctx, kern)
 		svc, err := Start(env, cfg)
 		if err != nil {
+			if errors.Is(err, kif.ErrTimeout) {
+				// Under fault injection the service may fail to reach
+				// the kernel during startup; that is a dead service,
+				// not a broken simulation.
+				env.Exit(1)
+				return
+			}
 			panic(fmt.Sprintf("m3fs: start failed: %v", err))
 		}
 		if ready != nil {
@@ -127,7 +138,10 @@ func Start(env *m3.Env, cfg Config) (*Service, error) {
 func (s *Service) FS() *FsCore { return s.fs }
 
 // Serve handles control (kernel) and request (client) messages forever.
+// The server loop is a daemon: it parking idle at the end of a run is
+// the expected state, not a deadlock.
 func (s *Service) Serve() {
+	s.env.P().SetDaemon()
 	d := s.env.DTU()
 	for {
 		msg, ep := d.WaitMsg(s.env.P(), s.ctrl.EP(), s.reqs.EP())
@@ -453,6 +467,12 @@ func (s *Service) replyErr(rg *m3.RecvGate, msg *dtu.Message, e kif.Error) {
 
 func (s *Service) reply(rg *m3.RecvGate, msg *dtu.Message, o *kif.OStream) {
 	if err := rg.Reply(msg, o.Bytes()); err != nil {
+		if errors.Is(err, dtu.ErrTimeout) {
+			// The client became unreachable (fault injection); the
+			// service must outlive its clients.
+			s.RepliesLost++
+			return
+		}
 		panic(fmt.Sprintf("m3fs: reply failed: %v", err))
 	}
 }

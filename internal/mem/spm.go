@@ -66,6 +66,12 @@ type DRAM struct {
 	data    []byte
 	ports   *sim.Resource
 	latency sim.Time
+
+	// faultDelay, when installed, returns extra access latency at a
+	// given simulated time (fault injection: brownout windows).
+	faultDelay func(now sim.Time) sim.Time
+	// BrownoutCycles accumulates the injected extra latency.
+	BrownoutCycles sim.Time
 }
 
 // DRAMConfig parameterizes a DRAM module.
@@ -116,6 +122,14 @@ func (d *DRAM) Access(p *sim.Process, write bool, addr int, buf []byte, stream f
 	}
 	d.ports.Acquire(p, 1)
 	p.Sleep(d.latency)
+	if d.faultDelay != nil {
+		if extra := d.faultDelay(p.Now()); extra > 0 {
+			// A brownout slows the module down while the port is held,
+			// so the slowdown also propagates as queueing delay.
+			d.BrownoutCycles += extra
+			p.Sleep(extra)
+		}
+	}
 	if write {
 		copy(d.data[addr:], buf)
 	} else {
@@ -127,6 +141,11 @@ func (d *DRAM) Access(p *sim.Process, write bool, addr int, buf []byte, stream f
 	d.ports.Release(1)
 	return nil
 }
+
+// SetFaultDelay installs (or, with nil, removes) the brownout hook
+// consulted on every access. Only internal/fault may call this
+// (m3vet: faultsite).
+func (d *DRAM) SetFaultDelay(fn func(now sim.Time) sim.Time) { d.faultDelay = fn }
 
 // Peek copies bytes out of the module without simulated timing. It is
 // meant for test assertions and for loading initial contents.

@@ -22,11 +22,42 @@ type NodeID int
 // Packet is one network transfer. Size covers everything on the wire
 // (header + payload). Payload is the semantic content interpreted by
 // the destination's handler (a DTU message, an RDMA request, ...).
+//
+// Seq and Corrupt exist for the reliability layer: Seq is a nonzero
+// sender-assigned sequence number on transfers that want end-to-end
+// acknowledgement (zero means fire-and-forget), and Corrupt marks a
+// packet whose header was damaged in flight by fault injection — the
+// payload pointer survives in the model, but receivers must treat the
+// packet as poisoned.
 type Packet struct {
 	Src, Dst NodeID
 	Size     int
 	Payload  any
+	Seq      uint64
+	Corrupt  bool
 }
+
+// LinkFault is a fault-injection verdict for one packet at one hop.
+type LinkFault uint8
+
+// Link fault verdicts.
+const (
+	// LinkOK passes the packet through unharmed.
+	LinkOK LinkFault = iota
+	// LinkDrop loses the packet at this hop: it pays full wire timing
+	// up to and including the hop but is never delivered.
+	LinkDrop
+	// LinkCorrupt damages the packet's header; it is delivered with
+	// Corrupt set and the receiver decides (NACK, drop, ...).
+	LinkCorrupt
+)
+
+// FaultHook inspects a packet about to traverse the link from→to and
+// returns a verdict. Hooks run in deterministic per-hop order along
+// the route, so a seeded RNG consulted inside the hook yields a
+// replayable fault schedule. Only internal/fault may install hooks
+// (enforced by m3vet's faultsite rule).
+type FaultHook func(from, to NodeID, pkt *Packet) LinkFault
 
 // Handler consumes packets delivered at a node. Deliver runs in engine
 // context and must not block; implementations hand work that needs
@@ -65,10 +96,15 @@ type Network struct {
 	cfg      Config
 	handlers []Handler
 	links    map[linkKey]*sim.Resource
+	fault    FaultHook
 
 	// PacketsSent counts injected packets; BytesSent the wire bytes.
 	PacketsSent uint64
 	BytesSent   uint64
+	// PacketsDropped and PacketsCorrupted count fault-injected losses
+	// and header corruptions.
+	PacketsDropped   uint64
+	PacketsCorrupted uint64
 }
 
 type linkKey struct{ from, to NodeID }
@@ -205,6 +241,7 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 	n.PacketsSent++
 	n.BytesSent += uint64(pkt.Size)
 	ser := n.SerializationTime(pkt.Size)
+	dropped := false
 	if pkt.Src != pkt.Dst {
 		prev := pkt.Src
 		for _, next := range n.Route(pkt.Src, pkt.Dst) {
@@ -217,16 +254,83 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 				n.eng.Schedule(n.cfg.HopLatency+ser, func() { lk.Release(1) })
 			}
 			p.Sleep(n.cfg.HopLatency)
+			if !dropped {
+				dropped = n.applyFault(prev, next, pkt)
+			}
 			prev = next
 		}
 	}
-	// Body drains into the destination.
+	// Body drains into the destination. A dropped packet still occupied
+	// the wire up to the faulty hop; the sender's transfer engine is
+	// blind to the loss and pays the full push either way.
 	p.Sleep(ser)
+	if dropped {
+		return
+	}
 	h := n.handlers[pkt.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("noc: packet for unattached node %d", pkt.Dst))
 	}
 	h.Deliver(pkt)
+}
+
+// SendAsync injects pkt without a sending process: the packet pays the
+// uncontended end-to-end latency and is delivered via a scheduled
+// event. It models autonomous DTU control traffic (acknowledgements,
+// probes) emitted from engine context where no process is available.
+// Link occupancy is not modelled for these few-byte control packets.
+func (n *Network) SendAsync(pkt *Packet) {
+	n.checkNode(pkt.Src)
+	n.checkNode(pkt.Dst)
+	n.PacketsSent++
+	n.BytesSent += uint64(pkt.Size)
+	dropped := false
+	if pkt.Src != pkt.Dst {
+		prev := pkt.Src
+		for _, next := range n.Route(pkt.Src, pkt.Dst) {
+			if !dropped {
+				dropped = n.applyFault(prev, next, pkt)
+			}
+			prev = next
+		}
+	}
+	if dropped {
+		return
+	}
+	h := n.handlers[pkt.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("noc: packet for unattached node %d", pkt.Dst))
+	}
+	n.eng.Schedule(n.TransferTime(pkt.Src, pkt.Dst, pkt.Size), func() { h.Deliver(pkt) })
+}
+
+// SetFaultHook installs (or, with nil, removes) the per-hop fault
+// hook. Only internal/fault may call this (m3vet: faultsite).
+func (n *Network) SetFaultHook(hook FaultHook) { n.fault = hook }
+
+// applyFault consults the fault hook for one hop and applies the
+// verdict. It reports whether the packet was dropped.
+func (n *Network) applyFault(from, to NodeID, pkt *Packet) bool {
+	if n.fault == nil {
+		return false
+	}
+	switch n.fault(from, to, pkt) {
+	case LinkDrop:
+		n.PacketsDropped++
+		if n.eng.Tracing() {
+			n.eng.Emit("noc", fmt.Sprintf("drop pkt %d->%d seq %d at link %d->%d", pkt.Src, pkt.Dst, pkt.Seq, from, to))
+		}
+		return true
+	case LinkCorrupt:
+		if !pkt.Corrupt {
+			pkt.Corrupt = true
+			n.PacketsCorrupted++
+			if n.eng.Tracing() {
+				n.eng.Emit("noc", fmt.Sprintf("corrupt pkt %d->%d seq %d at link %d->%d", pkt.Src, pkt.Dst, pkt.Seq, from, to))
+			}
+		}
+	}
+	return false
 }
 
 // link returns the contention resource for the directed link prev→next,

@@ -62,9 +62,10 @@ type Engine struct {
 	parked  chan struct{}
 	current *Process
 
-	liveProcs  int
-	executed   uint64
-	deadlocked bool
+	liveProcs   int
+	daemonProcs int
+	executed    uint64
+	deadlocked  bool
 
 	tracer func(at Time, source, event string)
 }
@@ -111,21 +112,25 @@ func (e *Engine) LiveProcesses() int { return e.liveProcs }
 //
 // If live processes remain when the queue drains, they are parked
 // forever: events are the only wake source, so no future step can
-// resume them. Run records this as a deadlock — a normal end state for
-// server loops (m3fs, DTU request servers) whose clients are done, but
-// a state in which scheduling new work is a bug; see Schedule.
+// resume them. For daemon processes (server loops — m3fs, DTU request
+// servers, the kernel dispatcher — marked via Process.SetDaemon) that
+// is the expected end state of every run. Any *non-daemon* process
+// parked forever is a genuine deadlock: a client stuck waiting for a
+// message that will never come. Run records that as a deadlock — a
+// state in which scheduling new work is a bug; see Schedule.
 func (e *Engine) Run() Time {
 	for len(e.events) > 0 {
 		e.step()
 	}
-	if e.liveProcs > 0 {
+	if e.liveProcs > e.daemonProcs {
 		e.deadlocked = true
 	}
 	return e.now
 }
 
-// Deadlocked reports whether a completed Run left processes parked
-// forever.
+// Deadlocked reports whether a completed Run left non-daemon
+// processes parked forever. The chaos tests use this as the liveness
+// assertion: injected faults must never wedge a surviving client.
 func (e *Engine) Deadlocked() bool { return e.deadlocked }
 
 // RunUntil executes events with time stamps <= limit. Events scheduled

@@ -14,6 +14,8 @@ type Process struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	killed bool
+	daemon bool
 
 	// done is signalled when the process function returns.
 	done *Signal
@@ -34,9 +36,17 @@ func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
 	go func() {
 		<-p.resume
 		defer func() {
-			p.dead = true
-			e.liveProcs--
-			p.done.Broadcast()
+			// A killed process never reaches this defer (its goroutine
+			// stays blocked forever); the guard protects the
+			// bookkeeping against any future path that could.
+			if !p.killed {
+				p.dead = true
+				e.liveProcs--
+				if p.daemon {
+					e.daemonProcs--
+				}
+				p.done.Broadcast()
+			}
 			e.parked <- struct{}{}
 		}()
 		fn(p)
@@ -58,8 +68,60 @@ func (p *Process) Now() Time { return p.eng.now }
 // Another process can Join by waiting on it.
 func (p *Process) Done() *Signal { return p.done }
 
-// Dead reports whether the process function has returned.
+// Dead reports whether the process function has returned or the
+// process was killed.
 func (p *Process) Dead() bool { return p.dead }
+
+// Kill terminates a parked process without running the rest of its
+// function: the simulated core stopped mid-instruction. The process
+// counts as dead immediately — its Done signal fires and later resume
+// attempts (a Signal broadcast, a Resource grant) are ignored. The
+// backing goroutine stays blocked on its hand-off channel and is
+// leaked deliberately: a crashed PE's program counter never advances
+// again, and the leak is bounded by the number of injected crashes.
+//
+// Kill must not target the currently running process — a program
+// cannot crash itself between two of its own instructions here;
+// schedule the kill as an engine event instead. Killing an
+// already-dead process is a no-op.
+//
+// A corpse leaks no resource capacity: every Resource unit a process
+// can hold across a blocking point is released by an event scheduled
+// at acquire time (NoC link occupancy) or held by unkillable resident
+// processes (the kernel CPU, the memory tile's ports), and parked
+// acquirers that die in the queue are skipped by the resource's
+// dead-waiter handling.
+func (p *Process) Kill() {
+	if p.dead {
+		return
+	}
+	if p.eng.current == p {
+		panic("sim: Kill of the running process; schedule the kill as an event")
+	}
+	p.killed = true
+	p.dead = true
+	p.eng.liveProcs--
+	if p.daemon {
+		p.eng.daemonProcs--
+	}
+	p.done.Broadcast()
+}
+
+// Killed reports whether the process was terminated by Kill rather
+// than by returning.
+func (p *Process) Killed() bool { return p.killed }
+
+// SetDaemon marks the process as a forever-running server loop: a DTU
+// request server, a memory-tile port worker, the kernel dispatcher,
+// a service like m3fs. Daemons left parked when the event queue drains
+// are the expected end state of a run, not a deadlock; see
+// Engine.Deadlocked.
+func (p *Process) SetDaemon() {
+	if !p.daemon && !p.dead {
+		p.daemon = true
+		p.eng.daemonProcs++
+	}
+}
 
 // park yields control to the engine; the process stays blocked until an
 // event resumes it.

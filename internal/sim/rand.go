@@ -1,0 +1,42 @@
+package sim
+
+// Rand is a splitmix64 pseudo-random stream. Its entire state is one
+// uint64, so a stream is trivially replayable: the same seed yields
+// the same sequence on every run, on every platform. The fault layer
+// owns one stream per fault plan, which is what makes injected fault
+// schedules part of the deterministic event schedule. math/rand would
+// not do: its convenience functions share process-global state across
+// everything in the address space (and are banned by m3vet's
+// nodeterminism rule for exactly that reason).
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with seed. Distinct seeds give
+// independent-looking streams; the same seed replays the same stream.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64, the
+// mixing function from Steele et al., "Fast Splittable Pseudorandom
+// Number Generators").
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive. The tiny
+// modulo bias is irrelevant for fault schedules.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn on non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}

@@ -58,13 +58,27 @@ func (r *Resource) Release(n int) {
 	}
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
+		if w.p.dead {
+			// The waiter was killed (PE crash) while queued; it must
+			// not consume capacity the survivors need.
+			r.waiters = r.waiters[1:]
+			continue
+		}
 		if r.inUse+w.n > r.capacity {
 			break // strict FIFO: nobody overtakes the head waiter
 		}
 		r.waiters = r.waiters[1:]
 		r.grant(w.n, r.eng.now-w.since)
-		wp := w.p
-		r.eng.Schedule(0, func() { r.eng.resume(wp) })
+		wp, wn := w.p, w.n
+		r.eng.Schedule(0, func() {
+			if wp.dead {
+				// Killed between grant and wake-up: return the units,
+				// which also re-runs admission for later waiters.
+				r.Release(wn)
+				return
+			}
+			r.eng.resume(wp)
+		})
 	}
 }
 

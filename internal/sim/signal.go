@@ -23,15 +23,20 @@ func (s *Signal) Wait(p *Process) {
 	p.park()
 }
 
-// Notify wakes the oldest waiter, if any. The waiter resumes at the
-// current simulated time, after already-queued events for this cycle.
+// Notify wakes the oldest living waiter, if any. The waiter resumes
+// at the current simulated time, after already-queued events for this
+// cycle. Dead waiters (killed while blocked) are skipped, not counted:
+// a wake-one notification consumed by a corpse would be lost.
 func (s *Signal) Notify() {
-	if len(s.waiters) == 0 {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.dead {
+			continue
+		}
+		s.eng.Schedule(0, func() { s.eng.resume(w) })
 		return
 	}
-	w := s.waiters[0]
-	s.waiters = s.waiters[1:]
-	s.eng.Schedule(0, func() { s.eng.resume(w) })
 }
 
 // Broadcast wakes all current waiters in FIFO order.

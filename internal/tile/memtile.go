@@ -34,6 +34,11 @@ func newMemTile(eng *sim.Engine, net *noc.Network, node noc.NodeID, dram *mem.DR
 
 // Deliver implements noc.Handler.
 func (m *memTile) Deliver(pkt *noc.Packet) {
+	if pkt.Corrupt {
+		// A corrupted request must not be executed as if valid; the
+		// requesting DTU's operation timeout covers the loss.
+		return
+	}
 	switch pkt.Payload.(type) {
 	case *dtu.MemReadReq, *dtu.MemWriteReq:
 		m.reqs.Send(pkt)
@@ -43,6 +48,7 @@ func (m *memTile) Deliver(pkt *noc.Packet) {
 }
 
 func (m *memTile) serve(p *sim.Process) {
+	p.SetDaemon()
 	for {
 		pkt := m.reqs.Recv(p)
 		switch req := pkt.Payload.(type) {

@@ -32,8 +32,9 @@ type PE struct {
 	SPM  *mem.SPM
 	DTU  *dtu.DTU
 
-	plat *Platform
-	prog *sim.Process
+	plat    *Platform
+	prog    *sim.Process
+	crashed bool
 }
 
 // Ctx is the execution context handed to software running on a PE.
@@ -66,6 +67,39 @@ func (pe *PE) Start(name string, prog func(c *Ctx)) *sim.Process {
 
 // Running reports whether a program currently occupies the PE.
 func (pe *PE) Running() bool { return pe.prog != nil && !pe.prog.Dead() }
+
+// Crash kills the PE's core permanently: the running program dies
+// mid-instruction and the core never fetches again. The DTU is a
+// separate hardware block and keeps serving the NoC — the kernel can
+// still probe the PE and deconfigure its endpoints, which is exactly
+// the paper's isolation story surviving the failure. Only
+// internal/fault may crash PEs (m3vet: faultsite).
+func (pe *PE) Crash() {
+	if pe.crashed {
+		return
+	}
+	pe.crashed = true
+	if pe.prog != nil && !pe.prog.Dead() {
+		pe.prog.Kill()
+	}
+	if pe.plat.Eng.Tracing() {
+		pe.plat.Eng.Emit(fmt.Sprintf("pe%d", pe.ID), "core crashed")
+	}
+}
+
+// Crashed reports whether the core was crashed by fault injection.
+func (pe *PE) Crashed() bool { return pe.crashed }
+
+// Reset stops the PE on the kernel's behalf (teardown of a revoked
+// VPE, §4.5.5: the kernel "resets the PE"): the program is killed and
+// the DTU's endpoint registers are cleared, so the freed PE carries no
+// stale communication rights to its next occupant.
+func (pe *PE) Reset() {
+	if pe.prog != nil && !pe.prog.Dead() {
+		pe.prog.Kill()
+	}
+	pe.DTU.ResetEndpoints()
+}
 
 // Config parameterizes a platform.
 type Config struct {
@@ -144,6 +178,8 @@ func NewPlatform(eng *sim.Engine, cfg Config) *Platform {
 			plat: p,
 		}
 		pe.DTU = dtu.New(eng, p.Net, node, pe.SPM, cfg.EndpointsPerDTU)
+		thisPE := pe
+		pe.DTU.SetCoreStatus(func() bool { return thisPE.crashed })
 		p.PEs = append(p.PEs, pe)
 	}
 	p.DRAMNode = noc.NodeID(n)
