@@ -19,13 +19,17 @@ bench:
 	go test -bench=. -benchmem
 
 # The chaos tier: determinism under fault injection plus the workload
-# matrix that proves isolation survives packet loss and PE crashes
-# (docs/FAULTS.md). Race-enabled — fault events must not break the
-# engine's strict hand-off.
+# matrix that proves isolation survives packet loss, PE crashes, and —
+# with the supervisor armed — service crashes that must recover
+# (docs/FAULTS.md, docs/RECOVERY.md). Race-enabled — fault events must
+# not break the engine's strict hand-off.
 chaos:
 	go test -race -run 'TestFaultDeterminism|TestChaosMatrix' ./internal/bench
 
-# Short fuzz smoke over the fault-plan decoder (the full fuzzer runs
-# for as long as you let it: go test -fuzz FuzzFaultPlan ./internal/fault).
+# Short fuzz smoke over the two crash-facing decoders: the fault-plan
+# parser and the m3fs metadata journal (the full fuzzers run for as
+# long as you let them: go test -fuzz FuzzFaultPlan ./internal/fault,
+# go test -fuzz FuzzJournal ./internal/m3fs).
 fuzz:
 	go test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/fault
+	go test -run '^$$' -fuzz FuzzJournal -fuzztime 10s ./internal/m3fs

@@ -7,9 +7,10 @@
 #              (see docs/ANALYSIS.md)
 #   tests      the full suite under the race detector — any data race
 #              would mean the sim's strict goroutine hand-off is broken
-#   chaos      the fault-injection tier: determinism under faults and
-#              the isolation-survives-failure matrix (docs/FAULTS.md)
-#   fuzz       a short smoke over the fault-plan decoder
+#   chaos      the fault-injection tier: determinism under faults, the
+#              isolation-survives-failure matrix, and service crash
+#              recovery (docs/FAULTS.md, docs/RECOVERY.md)
+#   fuzz       a short smoke over the fault-plan and journal decoders
 set -eux
 
 go build ./...

@@ -12,14 +12,14 @@ import (
 )
 
 func main() {
-	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util,efault")
+	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util,efault,erecover")
 	csv := flag.String("csv", "", "directory to additionally write CSV tables into")
 	flag.Parse()
 	csvDir = *csv
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util", "efault"} {
+		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util", "efault", "erecover"} {
 			want[e] = true
 		}
 	} else {
@@ -40,6 +40,7 @@ func main() {
 		{"fig7", runFig7},
 		{"util", runUtil},
 		{"efault", runEFault},
+		{"erecover", runERecover},
 	}
 	for _, r := range runners {
 		if !want[r.name] {

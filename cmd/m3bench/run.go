@@ -111,6 +111,18 @@ func runEFault() error {
 	return writeCSV(csvDir, r)
 }
 
+// runERecover reports the service-crash availability sweep (E-recover
+// in EXPERIMENTS.md): untar completion and time-to-recover while the
+// m3fs PE is crashed repeatedly and the supervisor restarts it.
+func runERecover() error {
+	r, err := bench.ERecover()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
 func runFig7() error {
 	r, err := bench.Fig7()
 	if err != nil {

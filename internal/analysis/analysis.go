@@ -68,6 +68,7 @@ func All() []*Analyzer {
 		MagicCost,
 		CrossLayer,
 		FaultSite,
+		EpochFence,
 	}
 }
 

@@ -1,0 +1,67 @@
+package analysis
+
+import "go/ast"
+
+// EpochFence enforces the service-restart fencing discipline inside the
+// kernel: every function that calls into a service (callService) holds
+// a *ServiceObj it resolved earlier, and between resolution and call
+// the service may have crashed and been respawned under a new epoch. A
+// call site that never consults serviceCurrent (or the object's Epoch
+// field directly) would happily deliver a request to a stale
+// incarnation — exactly the bug class the epoch mechanism exists to
+// make impossible (docs/RECOVERY.md).
+var EpochFence = &Analyzer{
+	Name: "epochfence",
+	Doc:  "kernel service calls must fence stale incarnations by epoch",
+	Run:  runEpochFence,
+}
+
+// epochPkg is the package defining callService and the fence helpers;
+// the unexported call path cannot be reached from anywhere else.
+const epochPkg = "repro/internal/core"
+
+func runEpochFence(pass *Pass) {
+	if pass.Pkg.Path != epochPkg {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "callService", "serviceCurrent":
+				// The mechanism itself, not a user of it.
+				continue
+			}
+			var calls []*ast.CallExpr
+			fenced := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil &&
+						fn.Pkg().Path() == epochPkg && fn.Name() == "callService" {
+						calls = append(calls, n)
+					}
+					if fn := calleeFunc(info, n); fn != nil && fn.Name() == "serviceCurrent" {
+						fenced = true
+					}
+				case *ast.SelectorExpr:
+					if n.Sel.Name == "Epoch" {
+						fenced = true
+					}
+				}
+				return true
+			})
+			if fenced {
+				continue
+			}
+			for _, call := range calls {
+				pass.Reportf(call.Pos(),
+					"callService without an epoch fence: check serviceCurrent (or Epoch) before calling into a service")
+			}
+		}
+	}
+}

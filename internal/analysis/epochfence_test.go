@@ -1,0 +1,96 @@
+package analysis
+
+import "testing"
+
+// epochFixture is the common prologue of the fixture kernel: the
+// mechanism declarations the rule must recognize.
+const epochFixture = `package core
+
+type ServiceObj struct {
+	Name  string
+	Epoch uint64
+}
+
+type Kernel struct {
+	services map[string]*ServiceObj
+}
+
+func (k *Kernel) callService(svc *ServiceObj, payload []byte) error { return nil }
+
+func (k *Kernel) serviceCurrent(svc *ServiceObj) bool {
+	cur, ok := k.services[svc.Name]
+	return ok && cur == svc && cur.Epoch == svc.Epoch
+}
+`
+
+func TestEpochFenceFlagsUnfencedCall(t *testing.T) {
+	src := epochFixture + `
+func (k *Kernel) deliver(svc *ServiceObj) error {
+	return k.callService(svc, nil)
+}
+`
+	got := runOn(t, []*Analyzer{EpochFence}, "repro/internal/core",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, []finding{{20, "epochfence"}})
+}
+
+func TestEpochFenceAcceptsServiceCurrent(t *testing.T) {
+	src := epochFixture + `
+func (k *Kernel) deliver(svc *ServiceObj) error {
+	if !k.serviceCurrent(svc) {
+		return nil
+	}
+	return k.callService(svc, nil)
+}
+`
+	got := runOn(t, []*Analyzer{EpochFence}, "repro/internal/core",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}
+
+func TestEpochFenceAcceptsDirectEpochCheck(t *testing.T) {
+	src := epochFixture + `
+func (k *Kernel) deliver(svc *ServiceObj, epoch uint64) error {
+	if svc.Epoch != epoch {
+		return nil
+	}
+	return k.callService(svc, nil)
+}
+`
+	got := runOn(t, []*Analyzer{EpochFence}, "repro/internal/core",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}
+
+func TestEpochFenceAcceptsFenceInsideClosure(t *testing.T) {
+	// The kernel's deferred-reply pattern: fence and call live in a
+	// spawned closure of the same declaration.
+	src := epochFixture + `
+func (k *Kernel) deliver(svc *ServiceObj, spawn func(func())) {
+	spawn(func() {
+		if !k.serviceCurrent(svc) {
+			return
+		}
+		_ = k.callService(svc, nil)
+	})
+}
+`
+	got := runOn(t, []*Analyzer{EpochFence}, "repro/internal/core",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}
+
+func TestEpochFenceIgnoresOtherPackages(t *testing.T) {
+	// A same-named helper elsewhere is not the kernel's service path.
+	src := `package m3fs
+
+type svc struct{}
+
+func callService(s *svc) {}
+
+func f(s *svc) { callService(s) }
+`
+	got := runOn(t, []*Analyzer{EpochFence}, "repro/internal/m3fs",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}

@@ -37,6 +37,10 @@ type ChaosRun struct {
 	Inj      *fault.Injector
 	Stats    RunStats
 	Outcomes []ChaosOutcome
+	// FSReadyAt records when each m3fs incarnation finished starting
+	// (entry 0 is boot; later entries are supervisor restarts). The
+	// recovery sweep derives time-to-recover from it.
+	FSReadyAt []sim.Time
 }
 
 // RunM3Chaos runs n parallel instances of b on one M3 system under the
@@ -49,8 +53,15 @@ type ChaosRun struct {
 func RunM3Chaos(b workload.Benchmark, n int, plan fault.Plan, opt M3Options) (*ChaosRun, error) {
 	s := bootM3NoFS(opt, n*b.PEs)
 	cr := &ChaosRun{Eng: s.eng, Plat: s.plat, Kern: s.kern}
-	fsProg := m3fs.Program(s.kern, opt.FS, func(svc *m3fs.Service) { cr.FS = svc })
-	if _, err := s.kern.StartInit("m3fs", tile.CoreXtensa, fsProg); err != nil {
+	fsProg := m3fs.Program(s.kern, opt.FS, func(svc *m3fs.Service) {
+		cr.FS = svc
+		cr.FSReadyAt = append(cr.FSReadyAt, s.eng.Now())
+	})
+	if opt.FSPolicy.MaxRestarts > 0 {
+		if _, err := s.kern.StartInitSupervised("m3fs", tile.CoreXtensa, fsProg, opt.FSPolicy); err != nil {
+			return nil, err
+		}
+	} else if _, err := s.kern.StartInit("m3fs", tile.CoreXtensa, fsProg); err != nil {
 		return nil, err
 	}
 	cr.Outcomes = make([]ChaosOutcome, n)

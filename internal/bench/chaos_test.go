@@ -8,9 +8,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtu"
 	"repro/internal/fault"
+	"repro/internal/m3fs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// recoverOpts is the harness configuration for the recovery tier: a
+// journaled m3fs under kernel supervision with one spare PE to respawn
+// onto.
+func recoverOpts() M3Options {
+	return M3Options{
+		ExtraPEs: 1,
+		FS:       m3fs.Config{Journal: true},
+		FSPolicy: core.RestartPolicy{MaxRestarts: 1, Backoff: 5000},
+	}
+}
 
 // chaosSeed keeps every chaos schedule in this file on one replayable
 // stream family.
@@ -23,9 +35,16 @@ const chaosSeed uint64 = 0xC0FFEE
 // that margin, and because everything is deterministic the derived
 // time hits the same simulation state on every run.
 func midRunCrashAt(t *testing.T, b workload.Benchmark, n int, plan fault.Plan) sim.Time {
+	return midRunCrashAtOpt(t, b, n, plan, M3Options{})
+}
+
+// midRunCrashAtOpt is midRunCrashAt for a non-default harness
+// configuration (the recovery tests boot with a journaled, supervised
+// m3fs, which shifts timing).
+func midRunCrashAtOpt(t *testing.T, b workload.Benchmark, n int, plan fault.Plan, opt M3Options) sim.Time {
 	t.Helper()
 	plan.Crashes = nil
-	cr, err := RunM3Chaos(b, n, plan, M3Options{})
+	cr, err := RunM3Chaos(b, n, plan, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,12 +57,12 @@ func midRunCrashAt(t *testing.T, b workload.Benchmark, n int, plan fault.Plan) s
 
 // tracedChaosRun runs one chaos configuration with a tracer installed
 // and returns the run plus an FNV hash over the complete event stream.
-func tracedChaosRun(t *testing.T, b workload.Benchmark, n int, plan fault.Plan) (*ChaosRun, uint64) {
+func tracedChaosRun(t *testing.T, b workload.Benchmark, n int, plan fault.Plan, opt M3Options) (*ChaosRun, uint64) {
 	t.Helper()
 	h := fnv.New64a()
-	opt := M3Options{Tracer: func(at sim.Time, source, event string) {
+	opt.Tracer = func(at sim.Time, source, event string) {
 		fmt.Fprintf(h, "%d %s %s\n", at, source, event)
-	}}
+	}
 	cr, err := RunM3Chaos(b, n, plan, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +105,7 @@ func TestFaultDeterminism(t *testing.T) {
 	plan.Brownouts = []fault.Window{{Start: crashAt / 2, End: crashAt, ExtraLatency: 40}}
 	plan.Crashes = []fault.Crash{{PE: 2, At: crashAt}}
 
-	cr1, h1 := tracedChaosRun(t, b, 2, plan)
+	cr1, h1 := tracedChaosRun(t, b, 2, plan, M3Options{})
 	if cr1.Stats.ExecutedEvents == 0 {
 		t.Fatal("run executed no events")
 	}
@@ -98,7 +117,7 @@ func TestFaultDeterminism(t *testing.T) {
 	}
 	sum1 := outcomeSummary(cr1)
 	for i := 0; i < 2; i++ {
-		cr2, h2 := tracedChaosRun(t, b, 2, plan)
+		cr2, h2 := tracedChaosRun(t, b, 2, plan, M3Options{})
 		if cr1.Stats != cr2.Stats {
 			t.Fatalf("run %d stats differ: %+v vs %+v", i+2, cr2.Stats, cr1.Stats)
 		}
@@ -208,6 +227,88 @@ func TestChaosMatrix(t *testing.T) {
 					}
 				}
 				assertIsolation(t, cr)
+			})
+
+			// recover: the m3fs PE itself crashes mid-run. The kernel
+			// supervisor respawns the service on the spare PE, the
+			// journal replays the pre-crash metadata, and every client
+			// re-establishes its session transparently — availability
+			// through a service crash.
+			t.Run("recover", func(t *testing.T) {
+				opts := recoverOpts()
+				fsCrashAt := midRunCrashAtOpt(t, b, 2, fault.Plan{Seed: chaosSeed}, opts)
+				plan := fault.Plan{Seed: chaosSeed, Crashes: []fault.Crash{{PE: 1, At: fsCrashAt}}}
+				cr, h1 := tracedChaosRun(t, b, 2, plan, opts)
+				if cr.Inj.CrashesFired() != 1 {
+					t.Fatalf("m3fs crash at %d did not fire (final time %d)", fsCrashAt, cr.Stats.FinalTime)
+				}
+				if got := cr.Kern.Stats.ServiceRestarts; got != 1 {
+					t.Fatalf("supervisor restarted the service %d times, want 1", got)
+				}
+				if len(cr.FSReadyAt) != 2 {
+					t.Fatalf("m3fs became ready %d times (%v), want boot + restart", len(cr.FSReadyAt), cr.FSReadyAt)
+				}
+				if cr.FSReadyAt[1] <= fsCrashAt {
+					t.Fatalf("restart ready at %d, before the crash at %d", cr.FSReadyAt[1], fsCrashAt)
+				}
+				if !cr.FS.Recovered {
+					t.Error("restarted m3fs did not replay a journal")
+				}
+				if cr.FS.ReplayedRecords == 0 {
+					t.Error("journal replay applied no records despite pre-crash mutations")
+				}
+				for _, o := range cr.Outcomes {
+					if !o.Finished || o.Err != nil {
+						t.Errorf("%s did not complete through the restart: finished=%v err=%v",
+							o.Name, o.Finished, o.Err)
+					}
+				}
+				// The recovered image must be self-consistent: re-parse
+				// it, which runs the full invariant checker.
+				img := cr.FS.FS().MarshalImage(nil)
+				if _, err := m3fs.UnmarshalImage(img, nil); err != nil {
+					t.Errorf("recovered filesystem image fails fsck: %v", err)
+				}
+				assertIsolation(t, cr)
+
+				// Recovery is deterministic: repeated runs execute the
+				// identical event schedule.
+				for i := 0; i < 2; i++ {
+					cr2, h2 := tracedChaosRun(t, b, 2, plan, opts)
+					if cr.Stats != cr2.Stats {
+						t.Fatalf("recover rerun %d stats differ: %+v vs %+v", i+2, cr2.Stats, cr.Stats)
+					}
+					if h1 != h2 {
+						t.Fatalf("recover rerun %d trace hash differs: %#x vs %#x", i+2, h2, h1)
+					}
+				}
+			})
+
+			// norestart: the same m3fs crash without a restart policy.
+			// There is nothing to fail over to — but clients must get
+			// clean timeout/session-dead errors, never a hang.
+			t.Run("norestart", func(t *testing.T) {
+				opts := M3Options{FS: m3fs.Config{Journal: true}}
+				fsCrashAt := midRunCrashAtOpt(t, b, 2, fault.Plan{Seed: chaosSeed}, opts)
+				plan := fault.Plan{Seed: chaosSeed, Crashes: []fault.Crash{{PE: 1, At: fsCrashAt}}}
+				cr, err := RunM3Chaos(b, 2, plan, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cr.Inj.CrashesFired() != 1 {
+					t.Fatalf("m3fs crash at %d did not fire (final time %d)", fsCrashAt, cr.Stats.FinalTime)
+				}
+				if got := cr.Kern.Stats.ServiceRestarts; got != 0 {
+					t.Fatalf("unsupervised service restarted %d times", got)
+				}
+				if cr.Eng.Deadlocked() {
+					t.Fatal("run deadlocked: a client blocked forever on the dead service")
+				}
+				for _, o := range cr.Outcomes {
+					if !o.Finished && o.Err == nil {
+						t.Errorf("%s neither finished nor failed cleanly (end=%d)", o.Name, o.EndAt)
+					}
+				}
 			})
 		})
 	}

@@ -47,6 +47,10 @@ type M3Options struct {
 	DRAMSize int
 	// FS configures m3fs.
 	FS m3fs.Config
+	// FSPolicy, when MaxRestarts > 0, starts m3fs under kernel
+	// supervision: a crashed service incarnation is respawned on a
+	// spare PE (provide one via ExtraPEs) with a bumped service epoch.
+	FSPolicy core.RestartPolicy
 	// AppendBlocks/NoMerge tune the client's extent allocation
 	// (Figure 4).
 	AppendBlocks int

@@ -42,4 +42,14 @@ const (
 	// CostReap covers the fixed part of reaping a crashed VPE
 	// (per-capability revocation is billed at CostRevokeCap on top).
 	CostReap sim.Time = 120
+
+	// CostRespawn covers the supervisor restarting a supervised
+	// service: VPE bookkeeping plus reprogramming the standard
+	// endpoints of the spare PE.
+	CostRespawn sim.Time = 200
+
+	// DefaultRestartBackoff is the supervisor's delay before the first
+	// respawn of a reaped service when the policy leaves it zero; it
+	// doubles per further restart.
+	DefaultRestartBackoff sim.Time = 10000
 )

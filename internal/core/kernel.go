@@ -50,6 +50,11 @@ type Stats struct {
 	RepliesDropped      uint64
 	FailedInvalidations uint64
 	VPEsReaped          uint64
+
+	// Recovery counters: kernel→service calls that hit the armed
+	// deadline, and supervised services respawned after a reap.
+	ServiceTimeouts uint64
+	ServiceRestarts uint64
 }
 
 // Kernel is the M3 kernel instance, bound to a dedicated kernel PE.
@@ -71,6 +76,19 @@ type Kernel struct {
 	pendingServ map[uint64]*servPending
 	nextServOp  uint64
 	nextSrvEP   int
+
+	// srvEpochs counts registrations per service name (lookup only,
+	// never walked) so every re-registration gets a fresh epoch.
+	srvEpochs map[string]uint64
+
+	// supervised maps the VPE id of a supervised service's current
+	// incarnation to its restart record (lookup only, never walked).
+	supervised map[uint64]*supervised
+
+	// servDeadline bounds kernel→service calls in cycles; zero (the
+	// default) keeps them unbounded and schedules no deadline events.
+	// Armed only by internal/fault (m3vet: faultsite).
+	servDeadline sim.Time
 
 	inits  []initAction
 	booted bool
@@ -113,6 +131,8 @@ func Boot(plat *tile.Platform, kernelPE int) *Kernel {
 		dram:        newAllocator(0, plat.DRAM.Size()),
 		pendingServ: make(map[uint64]*servPending),
 		nextSrvEP:   kif.KFirstSrvEP,
+		srvEpochs:   make(map[string]uint64),
+		supervised:  make(map[uint64]*supervised),
 		actSig:      sim.NewSignal(plat.Eng),
 	}
 	k.peUsed[kernelPE] = true

@@ -101,6 +101,9 @@ func (k *Kernel) reapVPE(p *sim.Process, vpe *VPE) {
 	}
 	vpe.exitSig.Broadcast()
 	k.actSig.Broadcast()
+	// Supervisor hook: a supervised service gets respawned on a spare
+	// PE after its policy's backoff (no-op for everything else).
+	k.maybeRespawn(vpe)
 }
 
 // invalidateEP deconfigures one endpoint, tolerating an unreachable

@@ -83,6 +83,12 @@ type MemObj struct {
 	// root marks an allocation owned by the kernel's DRAM allocator;
 	// revoking the root returns the region to the free list.
 	root bool
+
+	// stable marks a region pinned by the service supervisor: revoking
+	// the root does NOT return it to the free list, so its contents
+	// survive the owner's crash and a restarted incarnation can adopt
+	// the same region (journal recovery, docs/RECOVERY.md).
+	stable bool
 }
 
 // ServiceObj represents a registered service: its name and the
@@ -95,6 +101,13 @@ type ServiceObj struct {
 	// sendEP is the kernel-DTU endpoint configured for the control
 	// channel.
 	sendEP int
+
+	// Epoch is the service incarnation number: 1 for the first
+	// registration of a name, bumped every time the supervisor (or
+	// anyone) re-registers the same name. Kernel helpers that talk to a
+	// service on behalf of older state must fence on it — a stale
+	// ServiceObj must never receive new requests (m3vet: epochfence).
+	Epoch uint64
 }
 
 // SessObj represents a session between a client VPE and a service. The

@@ -44,7 +44,8 @@ func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dt
 		Type: dtu.EpSend, Target: vpe.PE.Node, TargetEP: rg.EP,
 		Label: 0, Credits: rg.Slots, MsgSize: rg.SlotSize,
 	}))
-	obj := &ServiceObj{Name: name, Owner: vpe, RGate: rg, sendEP: sendEP}
+	k.srvEpochs[name]++
+	obj := &ServiceObj{Name: name, Owner: vpe, RGate: rg, sendEP: sendEP, Epoch: k.srvEpochs[name]}
 	if _, e := vpe.Caps.Install(dstSel, CapService, obj); e != kif.OK {
 		k.replyErr(p, msg, e)
 		return
@@ -56,7 +57,15 @@ func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dt
 // callService sends a control message to a service and waits for its
 // reply, correlated via the reply label. The calling helper blocks;
 // the kernel CPU is free in the meantime.
+//
+// Both wait points — credits of the control channel and the reply
+// itself — honor the armed service-call deadline: a dead or wedged
+// service earns the caller kif.ErrTimeout instead of stalling the
+// helper forever. With no deadline armed (every fault-free run) the
+// waits are unbounded and not a single extra event is scheduled.
+// Callers fence stale incarnations with serviceCurrent before calling.
 func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte) (*dtu.Message, kif.Error) {
+	deadline := k.servDeadline
 	k.nextServOp++
 	opID := k.nextServOp
 	pend := &servPending{sig: sim.NewSignal(k.Plat.Eng)}
@@ -68,17 +77,45 @@ func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte) (*
 			break
 		}
 		if errors.Is(err, dtu.ErrNoCredits) {
-			if werr := k.PE.DTU.WaitCredits(p, svc.sendEP); werr == nil {
+			werr := k.PE.DTU.WaitCreditsDeadline(p, svc.sendEP, deadline)
+			if werr == nil {
 				continue
+			}
+			if errors.Is(werr, dtu.ErrTimeout) {
+				delete(k.pendingServ, opID)
+				k.Stats.ServiceTimeouts++
+				return nil, kif.ErrTimeout
 			}
 		}
 		delete(k.pendingServ, opID)
 		return nil, kif.ErrNoSuchService
 	}
-	for pend.msg == nil {
-		pend.sig.Wait(p)
+	if deadline > 0 {
+		expired := false
+		k.Plat.Eng.Schedule(deadline, func() {
+			// Only wake the helper if this very call is still pending
+			// and unanswered; a reply that raced the timer wins.
+			if k.pendingServ[opID] == pend && pend.msg == nil {
+				expired = true
+				pend.sig.Broadcast()
+			}
+		})
+		for pend.msg == nil && !expired {
+			pend.sig.Wait(p)
+		}
+	} else {
+		for pend.msg == nil {
+			pend.sig.Wait(p)
+		}
 	}
 	delete(k.pendingServ, opID)
+	if pend.msg == nil {
+		// A reply arriving after this point finds no pending record and
+		// is acked by the dispatcher, which is exactly the behavior for
+		// any other unsolicited message on the reply gate.
+		k.Stats.ServiceTimeouts++
+		return nil, kif.ErrTimeout
+	}
 	return pend.msg, kif.OK
 }
 
@@ -99,6 +136,13 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 	}
 	k.compute(p, CostOpenSess)
 	k.Plat.Eng.Spawn("kernel-opensess", func(hp *sim.Process) {
+		if !k.serviceCurrent(svc) {
+			// The registration this open raced against is gone (service
+			// died, possibly already re-registered at a newer epoch);
+			// the client must retry against the current incarnation.
+			k.replyErr(hp, msg, kif.ErrNoSuchService)
+			return
+		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServOpen)).Str(arg)
 		resp, cerr := k.callService(hp, svc, req.Bytes())
@@ -181,6 +225,14 @@ func (k *Kernel) sysExchangeSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg 
 	sess := cap.Obj.(*SessObj)
 	k.compute(p, CostExchange)
 	k.Plat.Eng.Spawn("kernel-exchange", func(hp *sim.Process) {
+		if !k.serviceCurrent(sess.Service) {
+			// Epoch fence: the session belongs to a dead incarnation of
+			// the service. Its successor never heard of the session
+			// ident, so the exchange must fail here, cleanly, instead of
+			// confusing the new incarnation.
+			k.replyErr(hp, msg, kif.ErrNoSuchSession)
+			return
+		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServExchange)).U64(sess.Ident)
 		if obtain {

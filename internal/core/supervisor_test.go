@@ -1,0 +1,171 @@
+// Supervisor coverage: these tests drive the restart machinery directly
+// — a supervised service program that registers itself and parks — and
+// check the respawn placement, epoch bumps, stable-region survival,
+// exponential backoff, and the restart budget, without the full m3fs
+// protocol on top (the chaos tier covers that end to end).
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dtu"
+	"repro/internal/fault"
+	"repro/internal/kif"
+	"repro/internal/m3"
+	"repro/internal/sim"
+	"repro/internal/tile"
+)
+
+// incarnation records what one boot of the supervised service observed.
+type incarnation struct {
+	pe    int
+	gen   byte     // generation counter read from the stable region
+	epoch uint64   // service epoch right after registration
+	at    sim.Time // registration time
+}
+
+// superviseEcho builds the supervised test service: every incarnation
+// re-adopts the stable region, bumps the generation marker in it,
+// registers the "echo" service, records what it saw, and parks as a
+// daemon on its control gate.
+func superviseEcho(t *testing.T, eng *sim.Engine, kern *core.Kernel, boots *[]incarnation) core.Program {
+	return func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		mg, err := env.ReqMemStable(4096, dtu.PermRW)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 8)
+		if err := mg.Read(buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		gen := buf[0]
+		buf[0]++
+		if err := mg.Write(buf, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		rg, err := env.NewRecvGate(256, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var o kif.OStream
+		o.Op(kif.SysCreateSrv).Sel(env.AllocSel()).Sel(rg.Sel()).Str("echo")
+		if _, err := env.Syscall(&o); err != nil {
+			t.Error(err)
+			return
+		}
+		*boots = append(*boots, incarnation{
+			pe: ctx.PE.ID, gen: gen, epoch: kern.ServiceEpoch("echo"), at: eng.Now(),
+		})
+		env.P().SetDaemon()
+		for {
+			env.DTU().WaitMsg(env.P(), rg.EP())
+		}
+	}
+}
+
+// TestSupervisorRespawnEpochAndBackoff crashes a supervised service
+// twice. Each death must respawn it on a fresh spare PE (crashed cores
+// never return to the pool), under a bumped service epoch, with the
+// stable region's contents intact, and no earlier than the reap plus
+// the doubling backoff.
+func TestSupervisorRespawnEpochAndBackoff(t *testing.T) {
+	eng, _, kern := bootSystem(4)
+	const backoff = sim.Time(4000)
+	crashes := []fault.Crash{{PE: 1, At: 50000}, {PE: 2, At: 150000}}
+
+	var boots []incarnation
+	_, err := kern.StartInitSupervised("echo", "", superviseEcho(t, eng, kern, &boots),
+		core.RestartPolicy{MaxRestarts: 2, Backoff: backoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Attach(kern, fault.Plan{
+		Seed:            1,
+		Crashes:         crashes,
+		HeartbeatPeriod: 5000,
+		MaxMissedBeats:  2,
+	})
+	eng.Run()
+	if eng.Deadlocked() {
+		t.Fatal("simulation deadlocked")
+	}
+	if len(boots) != 3 {
+		t.Fatalf("service booted %d times, want 3 (initial + 2 restarts)", len(boots))
+	}
+	if kern.Stats.ServiceRestarts != 2 {
+		t.Errorf("ServiceRestarts = %d, want 2", kern.Stats.ServiceRestarts)
+	}
+	for i, b := range boots {
+		if b.pe != i+1 {
+			t.Errorf("incarnation %d ran on pe%d, want pe%d (crashed PEs never reused)", i, b.pe, i+1)
+		}
+		if int(b.gen) != i {
+			t.Errorf("incarnation %d read generation %d, want %d (stable region must survive)", i, b.gen, i)
+		}
+		if b.epoch != uint64(i+1) {
+			t.Errorf("incarnation %d registered with epoch %d, want %d", i, b.epoch, i+1)
+		}
+	}
+	// The respawn runs after the reap (itself after the crash) plus the
+	// policy backoff, which doubles per restart of the same VPE.
+	for i, d := range []sim.Time{backoff, 2 * backoff} {
+		if earliest := crashes[i].At + d; boots[i+1].at < earliest {
+			t.Errorf("restart %d registered at %d, before crash+backoff %d", i+1, boots[i+1].at, earliest)
+		}
+	}
+	if got := kern.ServiceEpoch("echo"); got != 3 {
+		t.Errorf("final service epoch = %d, want 3", got)
+	}
+}
+
+// TestSupervisorBudgetExhausted crashes a MaxRestarts=1 service twice:
+// the second death must not be respawned, leaving the service
+// unregistered — the state in which clients get clean session-dead
+// errors instead of hanging on a ghost.
+func TestSupervisorBudgetExhausted(t *testing.T) {
+	eng, _, kern := bootSystem(4)
+	var boots []incarnation
+	_, err := kern.StartInitSupervised("echo", "", superviseEcho(t, eng, kern, &boots),
+		core.RestartPolicy{MaxRestarts: 1, Backoff: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Attach(kern, fault.Plan{
+		Seed:            1,
+		Crashes:         []fault.Crash{{PE: 1, At: 50000}, {PE: 2, At: 150000}},
+		HeartbeatPeriod: 5000,
+		MaxMissedBeats:  2,
+	})
+	eng.Run()
+	if eng.Deadlocked() {
+		t.Fatal("simulation deadlocked")
+	}
+	if len(boots) != 2 {
+		t.Fatalf("service booted %d times, want 2 (budget is one restart)", len(boots))
+	}
+	if kern.Stats.ServiceRestarts != 1 {
+		t.Errorf("ServiceRestarts = %d, want 1", kern.Stats.ServiceRestarts)
+	}
+	if kern.Stats.VPEsReaped != 2 {
+		t.Errorf("VPEsReaped = %d, want 2", kern.Stats.VPEsReaped)
+	}
+	if got := kern.ServiceEpoch("echo"); got != 0 {
+		t.Errorf("service still registered with epoch %d after budget exhaustion", got)
+	}
+}
+
+// TestSupervisorRejectsNegativeBudget pins the argument contract.
+func TestSupervisorRejectsNegativeBudget(t *testing.T) {
+	_, _, kern := bootSystem(2)
+	_, err := kern.StartInitSupervised("echo", "", func(ctx *tile.Ctx) {},
+		core.RestartPolicy{MaxRestarts: -1})
+	if err == nil {
+		t.Fatal("negative restart budget accepted")
+	}
+}

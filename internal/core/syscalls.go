@@ -145,7 +145,9 @@ func (k *Kernel) onDrop(c *Capability) {
 	}
 	switch obj := c.Obj.(type) {
 	case *MemObj:
-		if obj.root && obj.Node == k.Plat.DRAMNode {
+		if obj.root && !obj.stable && obj.Node == k.Plat.DRAMNode {
+			// Stable (supervisor-pinned) regions deliberately survive
+			// the drop: a restarted service incarnation re-adopts them.
 			k.dram.release(obj.Addr, obj.Size)
 		}
 	case *ServiceObj:
@@ -172,10 +174,15 @@ func (k *Kernel) onDrop(c *Capability) {
 // closeSession notifies a service that a client session disappeared.
 func (k *Kernel) closeSession(sess *SessObj) {
 	svc := sess.Service
-	if svc.Owner.exited {
+	if svc.Owner.exited || !k.serviceCurrent(svc) {
+		// Dead or superseded incarnation (epoch fence): its successor
+		// never issued this session ident, there is nobody to notify.
 		return
 	}
 	k.Plat.Eng.Spawn("kernel-closesess", func(hp *sim.Process) {
+		if !k.serviceCurrent(svc) {
+			return
+		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServCloseSess)).U64(sess.Ident)
 		resp, cerr := k.callService(hp, svc, req.Bytes())
@@ -185,22 +192,39 @@ func (k *Kernel) closeSession(sess *SessObj) {
 	})
 }
 
-// sysReqMem: reqmem(dstSel, size, perms) -> err. Allocates DRAM.
+// sysReqMem: reqmem(dstSel, size, perms, stable) -> err. Allocates
+// DRAM. With the stable flag set and the caller supervised, the kernel
+// pins the region and hands the same bytes back to every restarted
+// incarnation of the caller (journal recovery); for anyone else the
+// flag is a plain allocation.
 func (k *Kernel) sysReqMem(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.Message) {
 	dstSel, size, perms := is.Sel(), int(is.U64()), dtu.Perm(is.U64())
+	stable := is.U64() != 0
 	if is.Err() != nil || size <= 0 {
 		k.replyErr(p, msg, kif.ErrInvalidArgs)
 		return
 	}
 	k.compute(p, CostReqMem)
-	addr, ok := k.dram.alloc(size)
-	if !ok {
-		k.replyErr(p, msg, kif.ErrNoSpace)
-		return
+	var addr int
+	pinned := false
+	if stable {
+		if a, _, ok := k.stableRegionFor(vpe, size); ok {
+			addr, pinned = a, true
+		}
 	}
-	obj := &MemObj{Node: k.Plat.DRAMNode, Addr: addr, Size: size, Perms: perms & dtu.PermRW, root: true}
+	if !pinned {
+		a, ok := k.dram.alloc(size)
+		if !ok {
+			k.replyErr(p, msg, kif.ErrNoSpace)
+			return
+		}
+		addr = a
+	}
+	obj := &MemObj{Node: k.Plat.DRAMNode, Addr: addr, Size: size, Perms: perms & dtu.PermRW, root: true, stable: pinned}
 	if _, err := vpe.Caps.Install(dstSel, CapMem, obj); err != kif.OK {
-		k.dram.release(addr, size)
+		if !pinned {
+			k.dram.release(addr, size)
+		}
 		k.replyErr(p, msg, err)
 		return
 	}
@@ -325,6 +349,11 @@ func (k *Kernel) sysActivate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 		if cfgErr == nil {
 			obj.EP = ep
 			obj.BufAddr = bufAddr
+			// Claim the endpoint in the kernel's bookkeeping: if a
+			// multiplexed gate was evicted from this endpoint earlier, a
+			// later revocation of that gate's capability must not
+			// invalidate the receive gate now living here.
+			recordActivation(vpe, ep, cap)
 			k.actSig.Broadcast()
 		}
 		k.replyConfig(p, msg, cfgErr)

@@ -1,0 +1,126 @@
+package dtu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Deadline coverage for the bounded wait primitives the crash-recovery
+// stack leans on (docs/RECOVERY.md): a waiter with a cycle budget gets
+// a clean expiry instead of parking forever on a dead peer, a message
+// arriving in time wins over the timer, and zero budget degenerates to
+// the plain unbounded wait.
+
+func TestWaitMsgDeadlineExpires(t *testing.T) {
+	r := newRig(t)
+	r.channel(t, 2)
+	var at sim.Time
+	fired := false
+	r.eng.Spawn("recv", func(p *sim.Process) {
+		msg, ep := r.d1.WaitMsgDeadline(p, 5000, 0)
+		if msg != nil || ep != -1 {
+			t.Errorf("WaitMsgDeadline on silent channel = %v, %d; want nil, -1", msg, ep)
+		}
+		at = r.eng.Now()
+		fired = true
+	})
+	r.eng.Run()
+	if !fired {
+		t.Fatal("waiter never returned")
+	}
+	if at != 5000 {
+		t.Errorf("deadline expired at %d, want exactly 5000", at)
+	}
+}
+
+func TestWaitMsgDeadlineDeliveredInTime(t *testing.T) {
+	r := newRig(t)
+	r.channel(t, 2)
+	got := false
+	r.eng.Spawn("recv", func(p *sim.Process) {
+		msg, ep := r.d1.WaitMsgDeadline(p, 50000, 0)
+		if msg == nil || ep != 0 {
+			t.Errorf("WaitMsgDeadline = %v, %d; want the message on ep 0", msg, ep)
+			return
+		}
+		if string(msg.Data) != "ping" {
+			t.Errorf("payload = %q, want ping", msg.Data)
+		}
+		got = true
+	})
+	r.eng.Spawn("send", func(p *sim.Process) {
+		p.Sleep(1000)
+		if err := r.d0.Send(p, 1, []byte("ping"), -1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if !got {
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestWaitCreditsDeadline(t *testing.T) {
+	r := newRig(t)
+	r.channel(t, 1)
+	done := false
+	r.eng.Spawn("send", func(p *sim.Process) {
+		// Burn the only credit; nobody ever replies, so the credit never
+		// comes back and the bounded wait must expire on the dot.
+		if err := r.d0.Send(p, 1, []byte("m"), -1, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		start := r.eng.Now()
+		if err := r.d0.WaitCreditsDeadline(p, 1, 3000); !errors.Is(err, ErrTimeout) {
+			t.Errorf("WaitCreditsDeadline = %v, want ErrTimeout", err)
+		}
+		if took := r.eng.Now() - start; took != 3000 {
+			t.Errorf("expiry took %d cycles, want exactly 3000", took)
+		}
+		// Misconfigured endpoints fail fast, budget or not.
+		if err := r.d0.WaitCreditsDeadline(p, 2, 3000); !errors.Is(err, ErrBadEndpoint) {
+			t.Errorf("on a receive endpoint: %v, want ErrBadEndpoint", err)
+		}
+		done = true
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("sender never finished")
+	}
+}
+
+// TestWaitDeadlineZeroSchedulesNothing pins the zero-extra-events
+// discipline: a zero budget must not arm a timer — the fault-free
+// baseline schedule stays bit-identical whether the deadline plumbing
+// exists or not.
+func TestWaitDeadlineZeroSchedulesNothing(t *testing.T) {
+	r := newRig(t)
+	r.channel(t, 2)
+	got := false
+	r.eng.Spawn("recv", func(p *sim.Process) {
+		msg, ep := r.d1.WaitMsgDeadline(p, 0, 0)
+		if msg == nil || ep != 0 {
+			t.Errorf("WaitMsgDeadline(0) = %v, %d; want the message", msg, ep)
+			return
+		}
+		got = true
+	})
+	r.eng.Spawn("send", func(p *sim.Process) {
+		p.Sleep(1000)
+		if err := r.d0.Send(p, 1, []byte("x"), -1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if !got {
+		t.Fatal("message never delivered")
+	}
+	// The engine drained: had a timer been armed for "deadline zero",
+	// the run would have ended later than the send path needs.
+	if now := r.eng.Now(); now >= 5000 {
+		t.Errorf("engine ran until %d; a phantom deadline timer was scheduled", now)
+	}
+}

@@ -296,12 +296,66 @@ func (d *DTU) WaitMsg(p *sim.Process, eps ...int) (*Message, int) {
 	}
 }
 
+// WaitMsgDeadline is WaitMsg with a cycle budget: if no message arrives
+// within deadline cycles it gives up and returns (nil, -1). A deadline
+// of zero means no budget — the call degenerates to WaitMsg and, by the
+// zero-extra-events discipline, schedules nothing.
+func (d *DTU) WaitMsgDeadline(p *sim.Process, deadline sim.Time, eps ...int) (*Message, int) {
+	if deadline <= 0 {
+		return d.WaitMsg(p, eps...)
+	}
+	expired := false
+	d.eng.Schedule(deadline, func() {
+		// The waiter may long since have fetched its message and moved
+		// on; the broadcast then only causes other parked waiters to
+		// re-check their predicates, which is harmless and deterministic.
+		expired = true
+		d.MsgAvail.Broadcast()
+	})
+	for {
+		for _, i := range eps {
+			if m := d.Fetch(i); m != nil {
+				return m, i
+			}
+		}
+		if expired {
+			return nil, -1
+		}
+		d.idleWait(p, d.MsgAvail)
+	}
+}
+
 // WaitCredits blocks until send endpoint ep has at least one credit.
 func (d *DTU) WaitCredits(p *sim.Process, ep int) error {
 	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpSend {
 		return ErrBadEndpoint
 	}
 	for d.eps[ep].Credits == 0 {
+		d.idleWait(p, d.CreditAvail)
+	}
+	return nil
+}
+
+// WaitCreditsDeadline is WaitCredits with a cycle budget: if the
+// endpoint regains no credit within deadline cycles it returns
+// ErrTimeout. A zero deadline degenerates to WaitCredits and schedules
+// nothing.
+func (d *DTU) WaitCreditsDeadline(p *sim.Process, ep int, deadline sim.Time) error {
+	if deadline <= 0 {
+		return d.WaitCredits(p, ep)
+	}
+	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpSend {
+		return ErrBadEndpoint
+	}
+	expired := false
+	d.eng.Schedule(deadline, func() {
+		expired = true
+		d.CreditAvail.Broadcast()
+	})
+	for d.eps[ep].Credits == 0 {
+		if expired {
+			return ErrTimeout
+		}
 		d.idleWait(p, d.CreditAvail)
 	}
 	return nil

@@ -38,6 +38,13 @@ type FaultConfig struct {
 	// PreSend, when set, runs before every fault-gated transfer; the
 	// fault layer uses it to inject transfer-engine stalls.
 	PreSend func(p *sim.Process)
+	// CallDeadline, when nonzero, is the cycle budget software on this
+	// PE should apply to request/reply calls into services; libm3 reads
+	// it via DTU.CallDeadline to arm bounded waits and session
+	// recovery. Zero keeps every call path unbounded (and schedules no
+	// deadline events). The fault layer sets it only when a crash is
+	// armed (docs/RECOVERY.md).
+	CallDeadline sim.Time
 }
 
 // EnableFaults installs the reliability configuration. Zero Timeout
@@ -50,6 +57,17 @@ func (d *DTU) EnableFaults(cfg *FaultConfig) {
 		cfg.MaxRetries = DefaultMaxRetries
 	}
 	d.faults = cfg
+}
+
+// CallDeadline reports the call cycle budget of the armed fault
+// configuration, zero when faults are off or no deadline is armed.
+// Reading it is safe from any layer: it only tells software whether
+// the run wants bounded calls, it arms nothing.
+func (d *DTU) CallDeadline() sim.Time {
+	if d.faults == nil {
+		return 0
+	}
+	return d.faults.CallDeadline
 }
 
 // SetCoreStatus installs the callback a probe response reads to learn

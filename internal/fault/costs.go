@@ -15,4 +15,10 @@ const (
 	// DefaultStallCycles is the extra latency of one injected
 	// transfer-engine stall.
 	DefaultStallCycles sim.Time = 150
+	// DefaultCallDeadline is the service-call cycle budget armed (on
+	// the kernel and on every client DTU) when a plan contains a usable
+	// crash. It sits far above any service response time reachable at
+	// survivable loss rates, so only genuinely dead or wedged services
+	// trip it.
+	DefaultCallDeadline sim.Time = 120000
 )

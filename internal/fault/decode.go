@@ -72,6 +72,12 @@ func DecodePlan(data []byte) (Plan, error) {
 			At: sim.Time(r.u16()) * 64,
 		})
 	}
+	// Like the retry budget, the call deadline never shrinks below its
+	// default: a fuzzer-chosen deadline shorter than a service response
+	// would fail healthy calls, which is policy, not a parser bug. It
+	// sits at the end of the stream so pre-existing encodings keep
+	// their byte layout (exhausted input yields the default).
+	p.CallDeadline = DefaultCallDeadline + sim.Time(r.u16())*16
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
 	}

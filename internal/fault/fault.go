@@ -72,6 +72,15 @@ type Plan struct {
 	// values keep the package defaults).
 	HeartbeatPeriod sim.Time
 	MaxMissedBeats  int
+
+	// CallDeadline is the cycle budget for calls into services, armed —
+	// like the watchdog — only when the plan contains a usable crash:
+	// the kernel's callService helpers and (via the DTU fault
+	// configuration) libm3's service calls then time out with clean
+	// errors instead of waiting on a dead service forever, and clients
+	// switch on session re-establishment (docs/RECOVERY.md). Zero keeps
+	// DefaultCallDeadline.
+	CallDeadline sim.Time
 }
 
 // Validate checks the plan's invariants: probabilities in [0,1] with
@@ -154,6 +163,9 @@ func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
 	if plan.MaxMissedBeats == 0 {
 		plan.MaxMissedBeats = DefaultMaxMissedBeats
 	}
+	if plan.CallDeadline == 0 {
+		plan.CallDeadline = DefaultCallDeadline
+	}
 	inj := &Injector{plan: plan, kern: kern}
 	plat := kern.Plat
 
@@ -184,10 +196,6 @@ func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
 			}
 		}
 	}
-	for _, pe := range plat.PEs {
-		pe.DTU.EnableFaults(fc)
-	}
-
 	if len(plan.Brownouts) > 0 {
 		windows := append([]Window(nil), plan.Brownouts...)
 		plat.DRAM.SetFaultDelay(func(now sim.Time) sim.Time {
@@ -218,7 +226,16 @@ func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
 		})
 	}
 	if armed {
+		// With a crash in the schedule, services can die: bound every
+		// call into them. Without one nothing can wedge, and arming a
+		// deadline would schedule timer events a fault-free-equivalent
+		// run does not have.
+		fc.CallDeadline = plan.CallDeadline
+		kern.SetServiceCallDeadline(plan.CallDeadline)
 		kern.EnableDeathWatch(plan.HeartbeatPeriod, plan.MaxMissedBeats, inj.watchActive)
+	}
+	for _, pe := range plat.PEs {
+		pe.DTU.EnableFaults(fc)
 	}
 	return inj, nil
 }

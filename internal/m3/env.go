@@ -34,6 +34,12 @@ type Env struct {
 	// service calls).
 	stash map[uint64]*dtu.Message
 
+	// abandoned labels: calls given up on after a deadline. A late
+	// reply carrying one is acked immediately instead of stashed, so
+	// it cannot leak a ringbuffer slot (lookup/delete only, never
+	// walked).
+	abandoned map[uint64]bool
+
 	VFS *VFS
 }
 
@@ -42,12 +48,13 @@ type Env struct {
 // kernel writes into the PE's memory.
 func NewEnv(ctx *tile.Ctx, kern *core.Kernel, args ...string) *Env {
 	e := &Env{
-		Ctx:      ctx,
-		Kern:     kern,
-		Args:     args,
-		nextSel:  1,
-		rbufNext: kif.RBufSpaceBegin,
-		stash:    make(map[uint64]*dtu.Message),
+		Ctx:       ctx,
+		Kern:      kern,
+		Args:      args,
+		nextSel:   1,
+		rbufNext:  kif.RBufSpaceBegin,
+		stash:     make(map[uint64]*dtu.Message),
+		abandoned: make(map[uint64]bool),
 	}
 	e.eps = newEPManager(e)
 	e.VFS = NewVFS(e)
@@ -139,9 +146,26 @@ func (e *Env) Exit(code int64) {
 // ReqMem asks the kernel for a DRAM region and returns a memory gate
 // for it.
 func (e *Env) ReqMem(size int, perms dtu.Perm) (*MemGate, error) {
+	return e.reqMem(size, perms, false)
+}
+
+// ReqMemStable is ReqMem with the stable flag: a supervised service
+// asking for stable memory gets the same pinned region back after
+// every restart, contents preserved — the persistence anchor of the
+// m3fs journal. For unsupervised callers the flag is a plain ReqMem.
+func (e *Env) ReqMemStable(size int, perms dtu.Perm) (*MemGate, error) {
+	return e.reqMem(size, perms, true)
+}
+
+func (e *Env) reqMem(size int, perms dtu.Perm, stable bool) (*MemGate, error) {
 	sel := e.AllocSel()
 	var o kif.OStream
 	o.Op(kif.SysReqMem).Sel(sel).U64(uint64(size)).U64(uint64(perms))
+	if stable {
+		o.U64(1)
+	} else {
+		o.U64(0)
+	}
 	if _, err := e.Syscall(&o); err != nil {
 		return nil, err
 	}
@@ -210,18 +234,52 @@ func (e *Env) Obtain(vpeSel, mine, theirs kif.CapSel, count uint64) error {
 // call-reply endpoint, stashing replies that belong to other labels
 // (e.g. pipe acknowledgements arriving between service calls).
 func (e *Env) recvReply(label uint64) *dtu.Message {
+	return e.recvReplyDeadline(label, 0)
+}
+
+// recvReplyDeadline is recvReply with a cycle budget: nil after
+// deadline cycles without the wanted label. Zero means unbounded (and
+// schedules nothing, preserving the fault-free event schedule).
+func (e *Env) recvReplyDeadline(label uint64, deadline sim.Time) *dtu.Message {
 	if m, ok := e.stash[label]; ok {
 		delete(e.stash, label)
 		return m
 	}
 	d := e.DTU()
 	for {
-		msg, _ := d.WaitMsg(e.P(), kif.CallReplyEP)
+		msg, _ := d.WaitMsgDeadline(e.P(), deadline, kif.CallReplyEP)
+		if msg == nil {
+			return nil
+		}
 		if msg.Label == label {
 			return msg
 		}
-		e.stash[msg.Label] = msg
+		e.stashOrDrop(msg)
 	}
+}
+
+// DiscardReply marks a call label abandoned: if its reply already
+// arrived it is acked now, otherwise it will be acked on arrival.
+// Callers use it after recvReplyDeadline gave up, so a late reply from
+// a slow (or restarted) service cannot pin a ringbuffer slot forever.
+func (e *Env) DiscardReply(label uint64) {
+	if m, ok := e.stash[label]; ok {
+		delete(e.stash, label)
+		e.DTU().Ack(kif.CallReplyEP, m)
+		return
+	}
+	e.abandoned[label] = true
+}
+
+// stashOrDrop files a foreign-label reply: abandoned labels are acked
+// straight away, everything else waits in the stash.
+func (e *Env) stashOrDrop(msg *dtu.Message) {
+	if e.abandoned[msg.Label] {
+		delete(e.abandoned, msg.Label)
+		e.DTU().Ack(kif.CallReplyEP, msg)
+		return
+	}
+	e.stash[msg.Label] = msg
 }
 
 // tryRecvReply returns a stashed or pending reply for label without
@@ -237,7 +295,7 @@ func (e *Env) tryRecvReply(label uint64) *dtu.Message {
 		if msg.Label == label {
 			return msg
 		}
-		e.stash[msg.Label] = msg
+		e.stashOrDrop(msg)
 	}
 	return nil
 }

@@ -181,7 +181,7 @@ func TestSelectorCollisionRejected(t *testing.T) {
 		}
 		// Install something else at the same selector.
 		var o kif.OStream
-		o.Op(kif.SysReqMem).Sel(mg.Sel()).U64(1024).U64(uint64(dtu.PermRW))
+		o.Op(kif.SysReqMem).Sel(mg.Sel()).U64(1024).U64(uint64(dtu.PermRW)).U64(0)
 		if _, err := env.Syscall(&o); !errors.Is(err, kif.ErrExists) {
 			t.Errorf("selector reuse: %v, want ErrExists", err)
 		}

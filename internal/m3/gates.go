@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/sim"
 )
 
 // ErrNoFreeEP is returned when every multiplexable endpoint is pinned
@@ -147,6 +148,14 @@ func (rg *RecvGate) Recv() *dtu.Message {
 	return msg
 }
 
+// RecvDeadline is Recv bounded by a cycle budget: it returns nil when
+// the deadline expires first. A zero deadline is exactly Recv —
+// unbounded, and scheduling no deadline events.
+func (rg *RecvGate) RecvDeadline(deadline sim.Time) *dtu.Message {
+	msg, _ := rg.env.DTU().WaitMsgDeadline(rg.env.P(), deadline, rg.ep)
+	return msg
+}
+
 // TryRecv fetches a pending message without blocking.
 func (rg *RecvGate) TryRecv() *dtu.Message {
 	return rg.env.DTU().Fetch(rg.ep)
@@ -187,7 +196,20 @@ func (sg *SendGate) SendAsync(data []byte) (uint64, error) {
 	return label, sg.send(data, kif.CallReplyEP, label)
 }
 
+// SendAsyncDeadline is SendAsync with a cycle budget on the credit
+// wait: a receiver that never restores credit makes the send fail with
+// kif.ErrTimeout (wrapped) instead of blocking forever. Zero deadline
+// is exactly SendAsync.
+func (sg *SendGate) SendAsyncDeadline(data []byte, deadline sim.Time) (uint64, error) {
+	label := sg.env.allocLabel()
+	return label, sg.sendDeadline(data, kif.CallReplyEP, label, deadline)
+}
+
 func (sg *SendGate) send(data []byte, replyEP int, label uint64) error {
+	return sg.sendDeadline(data, replyEP, label, 0)
+}
+
+func (sg *SendGate) sendDeadline(data []byte, replyEP int, label uint64, deadline sim.Time) error {
 	e := sg.env
 	ep, err := e.eps.acquire(&sg.gateBase)
 	if err != nil {
@@ -199,13 +221,24 @@ func (sg *SendGate) send(data []byte, replyEP int, label uint64) error {
 			return nil
 		}
 		if errors.Is(err, dtu.ErrNoCredits) {
-			if werr := e.DTU().WaitCredits(e.P(), ep); werr == nil {
+			werr := e.DTU().WaitCreditsDeadline(e.P(), ep, deadline)
+			if werr == nil {
 				continue
+			}
+			if errors.Is(werr, dtu.ErrTimeout) {
+				// A receiver that never restores credit is as dead as
+				// one that never replies.
+				return fmt.Errorf("m3: gate send: %w", kif.ErrTimeout)
 			}
 		}
 		return fmt.Errorf("m3: gate send: %w", err)
 	}
 }
+
+// Drop unbinds the gate from its endpoint, if bound. Session recovery
+// uses it to retire the send gate of a dead service incarnation so the
+// slot is immediately reusable.
+func (sg *SendGate) Drop() { sg.env.eps.release(&sg.gateBase) }
 
 // TrySend transmits data without blocking on credits: if the channel
 // is exhausted it returns dtu.ErrNoCredits immediately. The reply (if
@@ -223,16 +256,49 @@ func (sg *SendGate) TrySend(data []byte) error {
 // Call sends data and waits for the reply (the common synchronous
 // pattern libm3 builds on top of asynchronous DTU messaging, §4.5.6).
 func (sg *SendGate) Call(data []byte) ([]byte, error) {
+	return sg.CallDeadline(data, 0)
+}
+
+// CallDeadline is Call with a cycle budget applied to both wait points
+// (credits and reply): if the receiver neither accepts nor answers in
+// time it returns kif.ErrTimeout (wrapped) and abandons the reply
+// label, so a late answer is acked instead of leaking a ringbuffer
+// slot. A zero deadline is exactly Call — unbounded, and scheduling no
+// deadline events.
+func (sg *SendGate) CallDeadline(data []byte, deadline sim.Time) ([]byte, error) {
 	e := sg.env
 	e.Ctx.Compute(CostCallMarshal)
 	label := e.allocLabel()
-	if err := sg.send(data, kif.CallReplyEP, label); err != nil {
+	if err := sg.sendDeadline(data, kif.CallReplyEP, label, deadline); err != nil {
 		return nil, err
 	}
-	msg := e.recvReply(label)
+	msg := e.recvReplyDeadline(label, deadline)
+	if msg == nil {
+		e.DiscardReply(label)
+		return nil, fmt.Errorf("m3: call reply: %w", kif.ErrTimeout)
+	}
 	e.Ctx.Compute(CostCallUnmarshal)
 	data = msg.Data
 	e.DTU().Ack(kif.CallReplyEP, msg)
+	return data, nil
+}
+
+// CollectReplyDeadline is a blocking CollectReply bounded by a cycle
+// budget: on expiry it abandons the label (a late reply is acked, not
+// leaked) and returns kif.ErrTimeout wrapped. Zero deadline blocks
+// unboundedly like CollectReply.
+func (sg *SendGate) CollectReplyDeadline(label uint64, deadline sim.Time) ([]byte, error) {
+	e := sg.env
+	msg := e.recvReplyDeadline(label, deadline)
+	if msg == nil {
+		e.DiscardReply(label)
+		return nil, fmt.Errorf("m3: collect reply: %w", kif.ErrTimeout)
+	}
+	data := msg.Data
+	e.DTU().Ack(kif.CallReplyEP, msg)
+	if data == nil {
+		data = []byte{}
+	}
 	return data, nil
 }
 
@@ -269,6 +335,10 @@ func (e *Env) MemGateAt(sel kif.CapSel, size int) *MemGate {
 
 // Size returns the region size in bytes.
 func (mg *MemGate) Size() int { return mg.size }
+
+// Drop unbinds the gate from its endpoint, if bound (see
+// SendGate.Drop).
+func (mg *MemGate) Drop() { mg.env.eps.release(&mg.gateBase) }
 
 // Derive creates a sub-range memory gate with equal or fewer
 // permissions.

@@ -89,7 +89,13 @@ func (pr *PipeReader) Read(buf []byte) (int, error) {
 		if pr.eof {
 			return 0, io.EOF
 		}
-		msg := pr.rg.Recv()
+		// With fault injection's call deadline armed, a writer that
+		// died mid-pipe surfaces as a clean timeout instead of a
+		// blocked reader (docs/RECOVERY.md).
+		msg := pr.rg.RecvDeadline(e.DTU().CallDeadline())
+		if msg == nil {
+			return 0, fmt.Errorf("m3: pipe read: %w", kif.ErrTimeout)
+		}
 		is := kif.NewIStream(msg.Data)
 		pos, n := int(is.U64()), int(is.U64())
 		if is.Err() != nil {
@@ -184,7 +190,9 @@ func (pw *PipeWriter) Write(buf []byte) (int, error) {
 		// Reclaim space from any acknowledgements that arrived.
 		pw.collect(false)
 		for pw.free == 0 {
-			pw.collect(true)
+			if err := pw.collect(true); err != nil {
+				return total, err
+			}
 		}
 		n := len(buf)
 		if n > pw.free {
@@ -195,7 +203,7 @@ func (pw *PipeWriter) Write(buf []byte) (int, error) {
 		}
 		var o kif.OStream
 		o.U64(uint64(pw.wpos)).U64(uint64(n))
-		label, err := pw.sg.SendAsync(o.Bytes())
+		label, err := pw.sg.SendAsyncDeadline(o.Bytes(), e.DTU().CallDeadline())
 		if err != nil {
 			return total, err
 		}
@@ -205,7 +213,9 @@ func (pw *PipeWriter) Write(buf []byte) (int, error) {
 		buf = buf[n:]
 		total += n
 		if !pw.Async {
-			pw.collect(true)
+			if err := pw.collect(true); err != nil {
+				return total, err
+			}
 		}
 	}
 	return total, nil
@@ -226,18 +236,33 @@ func (pw *PipeWriter) writeRing(buf []byte, pos int) error {
 }
 
 // collect drains acknowledgements; when wait is true it blocks for the
-// oldest outstanding one.
-func (pw *PipeWriter) collect(wait bool) {
+// oldest outstanding one — bounded by the armed call deadline, so a
+// reader that died mid-pipe surfaces as a clean timeout.
+func (pw *PipeWriter) collect(wait bool) error {
 	for len(pw.inMsgs) > 0 {
-		data := pw.sg.CollectReply(pw.inMsgs[0], wait)
-		if data == nil {
-			return
+		var data []byte
+		if wait {
+			if d := pw.env.DTU().CallDeadline(); d > 0 {
+				var err error
+				data, err = pw.sg.CollectReplyDeadline(pw.inMsgs[0], d)
+				if err != nil {
+					// The acknowledgement is not coming; retire its
+					// label so Close does not wait on it again.
+					pw.inMsgs = pw.inMsgs[1:]
+					return fmt.Errorf("m3: pipe write: %w", err)
+				}
+			} else {
+				data = pw.sg.CollectReply(pw.inMsgs[0], true)
+			}
+		} else if data = pw.sg.CollectReply(pw.inMsgs[0], false); data == nil {
+			return nil
 		}
 		is := kif.NewIStream(data)
 		pw.free += int(is.U64())
 		pw.inMsgs = pw.inMsgs[1:]
 		wait = false // only block for one
 	}
+	return nil
 }
 
 // Close signals end-of-file to the reader and waits until every
@@ -249,13 +274,15 @@ func (pw *PipeWriter) Close() error {
 	pw.closed = true
 	var o kif.OStream
 	o.U64(0).U64(0)
-	label, err := pw.sg.SendAsync(o.Bytes())
+	label, err := pw.sg.SendAsyncDeadline(o.Bytes(), pw.env.DTU().CallDeadline())
 	if err != nil {
 		return err
 	}
 	pw.inMsgs = append(pw.inMsgs, label)
 	for len(pw.inMsgs) > 0 {
-		pw.collect(true)
+		if err := pw.collect(true); err != nil {
+			return err
+		}
 	}
 	return nil
 }

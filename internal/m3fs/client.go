@@ -5,8 +5,25 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dtu"
 	"repro/internal/kif"
 	"repro/internal/m3"
+	"repro/internal/sim"
+)
+
+// Bounded-recovery knobs. Recovery is armed only when fault injection
+// arms a call deadline on the DTU; without one every wait is unbounded
+// and none of these paths schedule events.
+const (
+	// maxMountAttempts bounds the boot race retry in Mount.
+	maxMountAttempts = 100
+	// maxCallAttempts bounds how often one logical operation is retried
+	// across session re-establishments before giving up.
+	maxCallAttempts = 4
+	// maxRecoverAttempts bounds how long a client waits for a service
+	// restart; with restarts disabled this degrades into a clean error
+	// after maxRecoverAttempts*costRecoverRetry cycles of back-off.
+	maxRecoverAttempts = 64
 )
 
 // Client is the libm3-side m3fs driver: it implements m3.FileSystem on
@@ -14,55 +31,87 @@ import (
 // to the service; data access goes through memory capabilities covering
 // file extents, obtained once per extent and cached, so that the
 // common-case read/write path involves only libm3 (§5.4).
+//
+// When fault injection arms a call deadline, the client additionally
+// survives service crashes: every operation carries an idempotency
+// token, every wait is bounded, and on a session-dead error the client
+// re-opens the session against the restarted incarnation and replays
+// the in-flight request with its original token (docs/RECOVERY.md).
 type Client struct {
-	env  *m3.Env
-	sess kif.CapSel
-	sg   *m3.SendGate
+	env     *m3.Env
+	service string
+	sess    kif.CapSel
+	sg      *m3.SendGate
+
+	// key/seq form the idempotency tokens: key is the client's PE
+	// number, seq a monotonic counter for mutating operations.
+	key uint64
+	seq uint64
+	// gen counts established sessions; files opened under an older gen
+	// re-open themselves before their next operation.
+	gen        uint64
+	files      []*file
+	recovering bool
 
 	// AppendBlocks overrides the per-append preallocation (0 = server
 	// default); NoMerge forces separate extents (Figure 4 experiment).
 	AppendBlocks int
 	NoMerge      bool
+
+	// Recoveries counts successful session re-establishments (tests).
+	Recoveries uint64
 }
 
 var _ m3.FileSystem = (*Client)(nil)
 
 // Mount opens a session at the named m3fs service, retrying while the
-// service has not registered yet (boot races), and obtains the send
-// gate for requests.
+// service has not registered yet (boot races) or is between
+// incarnations, and obtains the send gate for requests.
 func Mount(env *m3.Env, service string) (*Client, error) {
 	if service == "" {
 		service = ServiceName
 	}
-	var sess kif.CapSel
-	for attempt := 0; ; attempt++ {
-		var err error
-		sess, err = env.OpenSess(service, "")
-		if err == nil {
-			break
+	c := &Client{env: env, service: service, key: uint64(env.Ctx.PE.ID)}
+	var lastErr error
+	for attempt := 0; attempt < maxMountAttempts; attempt++ {
+		sess, err := env.OpenSess(service, "")
+		if err != nil {
+			lastErr = fmt.Errorf("m3fs: open session: %w", err)
+			if errors.Is(err, kif.ErrNoSuchService) {
+				env.P().Sleep(costMountRetry)
+				continue
+			}
+			return nil, lastErr
 		}
-		if errors.Is(err, kif.ErrNoSuchService) && attempt < 100 {
-			env.P().Sleep(costMountRetry)
-			continue
+		sgSel := env.AllocSel()
+		var args kif.OStream
+		args.U64(xGetSGate)
+		if _, err := env.ExchangeSess(sess, true, sgSel, 1, args.Bytes()); err != nil {
+			lastErr = fmt.Errorf("m3fs: obtain sgate: %w", err)
+			if c.recoverable(err) {
+				env.P().Sleep(costMountRetry)
+				continue
+			}
+			return nil, lastErr
 		}
-		return nil, fmt.Errorf("m3fs: open session: %w", err)
+		c.sess = sess
+		c.sg = env.SendGateAt(sgSel)
+		return c, nil
 	}
-	c := &Client{env: env, sess: sess}
-	sgSel := env.AllocSel()
-	var args kif.OStream
-	args.U64(xGetSGate)
-	if _, err := env.ExchangeSess(sess, true, sgSel, 1, args.Bytes()); err != nil {
-		return nil, fmt.Errorf("m3fs: obtain sgate: %w", err)
-	}
-	c.sg = env.SendGateAt(sgSel)
-	return c, nil
+	return nil, lastErr
 }
 
 // ClientFromCaps wraps an already-delegated session and request gate
 // (e.g. inherited from a parent VPE, like a forked child inheriting a
 // mount).
 func ClientFromCaps(env *m3.Env, sess, sgate kif.CapSel) *Client {
-	return &Client{env: env, sess: sess, sg: env.SendGateAt(sgate)}
+	return &Client{
+		env:     env,
+		service: ServiceName,
+		key:     uint64(env.Ctx.PE.ID),
+		sess:    sess,
+		sg:      env.SendGateAt(sgate),
+	}
 }
 
 // SessSel returns the session capability selector (for delegation to
@@ -84,10 +133,76 @@ func MountAt(env *m3.Env, prefix, service string) (*Client, error) {
 	return c, nil
 }
 
-// call performs a request-gate call and returns the reply stream
-// positioned after a successful error code.
-func (c *Client) call(o *kif.OStream) (*kif.IStream, error) {
-	data, err := c.sg.Call(o.Bytes())
+// deadline is the armed call budget (0 = fault-free, unbounded).
+func (c *Client) deadline() sim.Time { return c.env.DTU().CallDeadline() }
+
+// nextSeq mints a fresh idempotency token sequence number.
+func (c *Client) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// recoverable reports whether err indicates a dead or superseded
+// service incarnation worth a session re-establishment. Without an
+// armed deadline nothing is: the errors below then signify real
+// protocol violations that should surface.
+func (c *Client) recoverable(err error) bool {
+	if err == nil || c.deadline() == 0 {
+		return false
+	}
+	return errors.Is(err, kif.ErrTimeout) ||
+		errors.Is(err, kif.ErrNoSuchService) ||
+		errors.Is(err, kif.ErrNoSuchSession) ||
+		errors.Is(err, kif.ErrNoSuchCap) ||
+		errors.Is(err, kif.ErrVPEGone) ||
+		errors.Is(err, dtu.ErrTimeout) ||
+		errors.Is(err, dtu.ErrBadEndpoint)
+}
+
+// recover re-establishes the session after the service incarnation
+// died: drop the stale send gate and extent capabilities, then retry
+// open-session against the (possibly not yet restarted) service with
+// bounded back-off. On success the session generation is bumped so open
+// files re-open lazily.
+func (c *Client) recover() error {
+	if c.recovering {
+		return errors.New("m3fs: recursive session recovery")
+	}
+	c.recovering = true
+	defer func() { c.recovering = false }()
+	c.sg.Drop()
+	for _, f := range c.files {
+		f.dropExtents()
+	}
+	lastErr := errors.New("m3fs: no recovery attempt made")
+	for attempt := 0; attempt < maxRecoverAttempts; attempt++ {
+		c.env.P().Sleep(costRecoverRetry)
+		sess, err := c.env.OpenSess(c.service, "")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sgSel := c.env.AllocSel()
+		var args kif.OStream
+		args.U64(xGetSGate)
+		if _, err := c.env.ExchangeSess(sess, true, sgSel, 1, args.Bytes()); err != nil {
+			lastErr = err
+			continue
+		}
+		c.sess = sess
+		c.sg = c.env.SendGateAt(sgSel)
+		c.gen++
+		c.Recoveries++
+		return nil
+	}
+	return fmt.Errorf("m3fs: session recovery failed: %w", lastErr)
+}
+
+// callOnce performs one request-gate call (bounded by the armed
+// deadline) and returns the reply stream positioned after a successful
+// error code.
+func (c *Client) callOnce(o *kif.OStream) (*kif.IStream, error) {
+	data, err := c.sg.CallDeadline(o.Bytes(), c.deadline())
 	if err != nil {
 		return nil, err
 	}
@@ -98,32 +213,75 @@ func (c *Client) call(o *kif.OStream) (*kif.IStream, error) {
 	return is, nil
 }
 
+// call runs build and sends the result, transparently re-establishing
+// the session and retrying on recoverable errors. The builder runs
+// once per attempt so fd-bearing requests pick up post-recovery
+// descriptors; idempotency tokens must be minted once by the caller
+// and captured, so every retry replays the same logical operation.
+func (c *Client) call(build func() (*kif.OStream, error)) (*kif.IStream, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxCallAttempts; attempt++ {
+		o, err := build()
+		if err == nil {
+			var is *kif.IStream
+			is, err = c.callOnce(o)
+			if err == nil {
+				return is, nil
+			}
+		}
+		lastErr = err
+		if !c.recoverable(err) {
+			return nil, err
+		}
+		if rerr := c.recover(); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) removeFile(f *file) {
+	for i, g := range c.files {
+		if g == f {
+			c.files = append(c.files[:i], c.files[i+1:]...)
+			return
+		}
+	}
+}
+
 // Open opens or creates the file at path.
 func (c *Client) Open(path string, flags m3.OpenFlags) (m3.File, error) {
-	var o kif.OStream
-	o.U64(fsOpen).Str(path).U64(wireFlags(flags))
-	is, err := c.call(&o)
+	var fd uint64
+	var size, alloc int64
+	is, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsOpen).U64(c.key).U64(0).Str(path).U64(wireFlags(flags))
+		return &o, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("m3fs: open %s: %w", path, err)
 	}
-	fd, size := is.U64(), int64(is.U64())
+	fd, size = is.U64(), int64(is.U64())
 	_ = is.U64() // extent count (informational)
-	alloc := int64(is.U64())
-	f := &file{c: c, fd: fd, size: size, alloc: alloc, flags: flags}
+	alloc = int64(is.U64())
+	f := &file{c: c, fd: fd, path: path, gen: c.gen, size: size, alloc: alloc, flags: flags}
 	if flags&m3.OpenTrunc != 0 {
 		f.alloc = 0
 	}
 	if flags&m3.OpenAppend != 0 {
 		f.pos = size
 	}
+	c.files = append(c.files, f)
 	return f, nil
 }
 
 // Stat returns metadata for path.
 func (c *Client) Stat(path string) (m3.Stat, error) {
-	var o kif.OStream
-	o.U64(fsStat).Str(path)
-	is, err := c.call(&o)
+	is, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsStat).U64(c.key).U64(0).Str(path)
+		return &o, nil
+	})
 	if err != nil {
 		return m3.Stat{}, fmt.Errorf("m3fs: stat %s: %w", path, err)
 	}
@@ -132,9 +290,12 @@ func (c *Client) Stat(path string) (m3.Stat, error) {
 
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string) error {
-	var o kif.OStream
-	o.U64(fsMkdir).Str(path)
-	_, err := c.call(&o)
+	key, seq := c.key, c.nextSeq()
+	_, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsMkdir).U64(key).U64(seq).Str(path)
+		return &o, nil
+	})
 	if err != nil {
 		return fmt.Errorf("m3fs: mkdir %s: %w", path, err)
 	}
@@ -143,9 +304,12 @@ func (c *Client) Mkdir(path string) error {
 
 // Unlink removes a file or empty directory.
 func (c *Client) Unlink(path string) error {
-	var o kif.OStream
-	o.U64(fsUnlink).Str(path)
-	_, err := c.call(&o)
+	key, seq := c.key, c.nextSeq()
+	_, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsUnlink).U64(key).U64(seq).Str(path)
+		return &o, nil
+	})
 	if err != nil {
 		return fmt.Errorf("m3fs: unlink %s: %w", path, err)
 	}
@@ -154,9 +318,13 @@ func (c *Client) Unlink(path string) error {
 
 // Link creates a hard link: a second name for the file at oldPath.
 func (c *Client) Link(oldPath, newPath string) error {
-	var o kif.OStream
-	o.U64(fsLink).Str(oldPath).Str(newPath)
-	if _, err := c.call(&o); err != nil {
+	key, seq := c.key, c.nextSeq()
+	_, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsLink).U64(key).U64(seq).Str(oldPath).Str(newPath)
+		return &o, nil
+	})
+	if err != nil {
 		return fmt.Errorf("m3fs: link %s -> %s: %w", newPath, oldPath, err)
 	}
 	return nil
@@ -164,9 +332,13 @@ func (c *Client) Link(oldPath, newPath string) error {
 
 // Rename moves the entry at oldPath to newPath.
 func (c *Client) Rename(oldPath, newPath string) error {
-	var o kif.OStream
-	o.U64(fsRename).Str(oldPath).Str(newPath)
-	if _, err := c.call(&o); err != nil {
+	key, seq := c.key, c.nextSeq()
+	_, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsRename).U64(key).U64(seq).Str(oldPath).Str(newPath)
+		return &o, nil
+	})
+	if err != nil {
 		return fmt.Errorf("m3fs: rename %s -> %s: %w", oldPath, newPath, err)
 	}
 	return nil
@@ -175,9 +347,12 @@ func (c *Client) Rename(oldPath, newPath string) error {
 // Sync asks the service to flush the filesystem to its persistent
 // image.
 func (c *Client) Sync() error {
-	var o kif.OStream
-	o.U64(fsSync)
-	if _, err := c.call(&o); err != nil {
+	_, err := c.call(func() (*kif.OStream, error) {
+		var o kif.OStream
+		o.U64(fsSync).U64(c.key).U64(0)
+		return &o, nil
+	})
+	if err != nil {
 		return fmt.Errorf("m3fs: sync: %w", err)
 	}
 	return nil
@@ -187,9 +362,11 @@ func (c *Client) Sync() error {
 func (c *Client) ReadDir(path string) ([]m3.DirEntry, error) {
 	var out []m3.DirEntry
 	for idx := 0; ; {
-		var o kif.OStream
-		o.U64(fsReadDir).Str(path).U64(uint64(idx))
-		is, err := c.call(&o)
+		is, err := c.call(func() (*kif.OStream, error) {
+			var o kif.OStream
+			o.U64(fsReadDir).U64(c.key).U64(0).Str(path).U64(uint64(idx))
+			return &o, nil
+		})
 		if err != nil {
 			return nil, fmt.Errorf("m3fs: readdir %s: %w", path, err)
 		}
@@ -248,6 +425,8 @@ type cext struct {
 type file struct {
 	c     *Client
 	fd    uint64
+	path  string
+	gen   uint64 // session generation the fd belongs to
 	flags m3.OpenFlags
 	pos   int64
 	size  int64
@@ -256,6 +435,41 @@ type file struct {
 	alloc   int64
 	extents []cext
 	closed  bool
+}
+
+// dropExtents retires every cached extent gate (session recovery: the
+// capabilities died with the service incarnation).
+func (f *file) dropExtents() {
+	for i := range f.extents {
+		f.extents[i].mg.Drop()
+	}
+	f.extents = nil
+}
+
+// ensureOpen re-opens the file against a new service incarnation when
+// the session generation moved on. Create and truncate flags are
+// stripped: the original open already journaled their effect, and a
+// non-journaled restart losing the file should surface as a clean
+// "no such file", not silently hand back an empty one. Position and
+// size stay client-local — the client's view is authoritative for its
+// own in-flight writes.
+func (f *file) ensureOpen() error {
+	c := f.c
+	if f.gen == c.gen || f.closed {
+		return nil
+	}
+	var o kif.OStream
+	o.U64(fsOpen).U64(c.key).U64(0).Str(f.path).U64(wireFlags(f.flags &^ (m3.OpenCreate | m3.OpenTrunc)))
+	is, err := c.callOnce(&o)
+	if err != nil {
+		return err
+	}
+	f.fd = is.U64()
+	_ = is.U64() // size: client-local view is authoritative
+	_ = is.U64() // extent count
+	f.alloc = int64(is.U64())
+	f.gen = c.gen
+	return nil
 }
 
 // findExtent returns the cached extent containing off.
@@ -269,47 +483,70 @@ func (f *file) findExtent(off int64) *cext {
 	return nil
 }
 
+// obtain runs a session exchange built by build (re-run per attempt so
+// it sees post-recovery descriptors), parses the returned extent, and
+// caches it. kif.ErrEndOfFile passes through untouched: it is the
+// locate-miss signal, not a failure.
+func (f *file) obtain(build func() []byte) (*cext, error) {
+	c := f.c
+	var lastErr error
+	for attempt := 0; attempt < maxCallAttempts; attempt++ {
+		err := f.ensureOpen()
+		if err == nil {
+			sel := c.env.AllocSel()
+			var ret []byte
+			ret, err = c.env.ExchangeSess(c.sess, true, sel, 1, build())
+			if err == nil {
+				ris := kif.NewIStream(ret)
+				extOff, extLen := int64(ris.U64()), int64(ris.U64())
+				e := cext{off: extOff, len: extLen, mg: c.env.MemGateAt(sel, int(extLen))}
+				f.extents = append(f.extents, e)
+				if extOff+extLen > f.alloc {
+					f.alloc = extOff + extLen
+				}
+				return &f.extents[len(f.extents)-1], nil
+			}
+			if errors.Is(err, kif.ErrEndOfFile) {
+				return nil, err
+			}
+		}
+		lastErr = err
+		if !c.recoverable(err) {
+			return nil, err
+		}
+		if rerr := c.recover(); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return nil, lastErr
+}
+
 // locate obtains the extent covering off from m3fs.
 func (f *file) locate(off int64) (*cext, error) {
-	sel := f.c.env.AllocSel()
-	var args kif.OStream
-	args.U64(xLocate).U64(f.fd).U64(uint64(off))
-	ret, err := f.c.env.ExchangeSess(f.c.sess, true, sel, 1, args.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	ris := kif.NewIStream(ret)
-	extOff, extLen := int64(ris.U64()), int64(ris.U64())
-	e := cext{off: extOff, len: extLen, mg: f.c.env.MemGateAt(sel, int(extLen))}
-	f.extents = append(f.extents, e)
-	if extOff+extLen > f.alloc {
-		f.alloc = extOff + extLen
-	}
-	return &f.extents[len(f.extents)-1], nil
+	return f.obtain(func() []byte {
+		var args kif.OStream
+		args.U64(xLocate).U64(f.fd).U64(uint64(off))
+		return args.Bytes()
+	})
 }
 
 // appendExtent asks m3fs to reserve new blocks at the end of the file.
+// The token is minted once: if the reply is lost to a crash, the retry
+// presents the same token and the (restarted) service answers with the
+// original extent.
 func (f *file) appendExtent() (*cext, error) {
-	sel := f.c.env.AllocSel()
-	var args kif.OStream
-	args.U64(xAppend).U64(f.fd).U64(uint64(f.c.AppendBlocks))
-	if f.c.NoMerge {
-		args.U64(1)
-	} else {
-		args.U64(0)
-	}
-	ret, err := f.c.env.ExchangeSess(f.c.sess, true, sel, 1, args.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	ris := kif.NewIStream(ret)
-	extOff, extLen := int64(ris.U64()), int64(ris.U64())
-	e := cext{off: extOff, len: extLen, mg: f.c.env.MemGateAt(sel, int(extLen))}
-	f.extents = append(f.extents, e)
-	if extOff+extLen > f.alloc {
-		f.alloc = extOff + extLen
-	}
-	return &f.extents[len(f.extents)-1], nil
+	c := f.c
+	key, seq := c.key, c.nextSeq()
+	return f.obtain(func() []byte {
+		var args kif.OStream
+		args.U64(xAppend).U64(key).U64(seq).U64(f.fd).U64(uint64(c.AppendBlocks))
+		if c.NoMerge {
+			args.U64(1)
+		} else {
+			args.U64(0)
+		}
+		return args.Bytes()
+	})
 }
 
 // Read fills buf from the current position, returning io.EOF at end of
@@ -320,29 +557,39 @@ func (f *file) Read(buf []byte) (int, error) {
 	if f.closed {
 		return 0, errors.New("m3fs: read on closed file")
 	}
-	if f.pos >= f.size {
-		return 0, io.EOF
-	}
-	env.Ctx.Compute(m3.CostFileLocate)
-	e := f.findExtent(f.pos)
-	if e == nil {
-		var err error
-		if e, err = f.locate(f.pos); err != nil {
+	for attempt := 0; ; attempt++ {
+		if f.pos >= f.size {
+			return 0, io.EOF
+		}
+		env.Ctx.Compute(m3.CostFileLocate)
+		e := f.findExtent(f.pos)
+		if e == nil {
+			var err error
+			if e, err = f.locate(f.pos); err != nil {
+				return 0, err
+			}
+		}
+		n := int64(len(buf))
+		if rest := e.off + e.len - f.pos; n > rest {
+			n = rest
+		}
+		if rest := f.size - f.pos; n > rest {
+			n = rest
+		}
+		err := e.mg.Read(buf[:n], int(f.pos-e.off))
+		if err == nil {
+			f.pos += n
+			return int(n), nil
+		}
+		if attempt >= maxCallAttempts || !f.c.recoverable(err) {
 			return 0, err
 		}
+		// The extent capability died with the service incarnation;
+		// recovery drops the cache and the next attempt re-locates.
+		if rerr := f.c.recover(); rerr != nil {
+			return 0, rerr
+		}
 	}
-	n := int64(len(buf))
-	if rest := e.off + e.len - f.pos; n > rest {
-		n = rest
-	}
-	if rest := f.size - f.pos; n > rest {
-		n = rest
-	}
-	if err := e.mg.Read(buf[:n], int(f.pos-e.off)); err != nil {
-		return 0, err
-	}
-	f.pos += n
-	return int(n), nil
 }
 
 // Write stores buf at the current position, appending via preallocated
@@ -357,6 +604,7 @@ func (f *file) Write(buf []byte) (int, error) {
 		return 0, errors.New("m3fs: file not open for writing")
 	}
 	total := 0
+	attempts := 0
 	for len(buf) > 0 {
 		env.Ctx.Compute(m3.CostFileLocate)
 		e := f.findExtent(f.pos)
@@ -381,7 +629,14 @@ func (f *file) Write(buf []byte) (int, error) {
 			n = rest
 		}
 		if err := e.mg.Write(buf[:n], int(f.pos-e.off)); err != nil {
-			return total, err
+			if attempts >= maxCallAttempts || !f.c.recoverable(err) {
+				return total, err
+			}
+			attempts++
+			if rerr := f.c.recover(); rerr != nil {
+				return total, rerr
+			}
+			continue // re-locate the extent against the new incarnation
 		}
 		f.pos += n
 		if f.pos > f.size {
@@ -413,23 +668,37 @@ func (f *file) Seek(off int64, whence int) (int64, error) {
 	return f.pos, nil
 }
 
-// Close reports the final size so m3fs can truncate preallocation.
+// Close reports the final size so m3fs can truncate preallocation. The
+// token makes a retried close a no-op on the service side.
 func (f *file) Close() error {
 	if f.closed {
 		return nil
 	}
+	key, seq := f.c.key, f.c.nextSeq()
+	_, err := f.c.call(func() (*kif.OStream, error) {
+		if err := f.ensureOpen(); err != nil {
+			return nil, err
+		}
+		var o kif.OStream
+		o.U64(fsClose).U64(key).U64(seq).U64(f.fd).U64(uint64(f.size))
+		return &o, nil
+	})
 	f.closed = true
-	var o kif.OStream
-	o.U64(fsClose).U64(f.fd).U64(uint64(f.size))
-	_, err := f.c.call(&o)
+	f.c.removeFile(f)
+	f.dropExtents()
 	return err
 }
 
 // Stat queries the service about the open file.
 func (f *file) Stat() (m3.Stat, error) {
-	var o kif.OStream
-	o.U64(fsFStat).U64(f.fd)
-	is, err := f.c.call(&o)
+	is, err := f.c.call(func() (*kif.OStream, error) {
+		if err := f.ensureOpen(); err != nil {
+			return nil, err
+		}
+		var o kif.OStream
+		o.U64(fsFStat).U64(f.c.key).U64(0).U64(f.fd)
+		return &o, nil
+	})
 	if err != nil {
 		return m3.Stat{}, err
 	}

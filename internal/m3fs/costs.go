@@ -24,4 +24,16 @@ const (
 	// costMountRetry is the client's back-off while the service has not
 	// registered yet (boot races during Mount).
 	costMountRetry sim.Time = 1000
+
+	// costJournalAppend is the encode/bookkeeping overhead of one
+	// journal record (the two DRAM writes are timed DTU transfers on
+	// top of it).
+	costJournalAppend sim.Time = 120
+	// costJournalReplay is the per-record cost of re-applying the
+	// journal after a restart.
+	costJournalReplay sim.Time = 90
+	// costRecoverRetry is the client's back-off between session
+	// re-establishment attempts while the service incarnation it lost
+	// has not been restarted yet.
+	costRecoverRetry sim.Time = 2000
 )

@@ -1,0 +1,37 @@
+package m3fs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzJournal hammers DecodeJournal with arbitrary journal areas. The
+// journal lives in a DRAM region a crashing service may have torn
+// writes into, so the decoder must be total: any input either decodes
+// (possibly as the empty journal — that is what a zeroed or
+// foreign-magic area means) or returns an error, and it never panics.
+// Successfully decoded journals must round-trip through EncodeJournal,
+// pinning the wire framing.
+func FuzzJournal(f *testing.F) {
+	f.Add(EncodeJournal(sampleRecs()))
+	f.Add(EncodeJournal(nil))
+	f.Add(make([]byte, journalHdrSize))
+	f.Add([]byte{})
+	// A torn journal: one record appended past the committed range.
+	torn := EncodeJournal(sampleRecs()[:2])
+	f.Add(append(torn, encodeRecord(sampleRecs()[2])...))
+	f.Fuzz(func(t *testing.T, area []byte) {
+		recs, err := DecodeJournal(area)
+		if err != nil {
+			return
+		}
+		reenc := EncodeJournal(recs)
+		got, err := DecodeJournal(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded journal does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("journal does not round-trip:\n got %+v\nwant %+v", got, recs)
+		}
+	})
+}

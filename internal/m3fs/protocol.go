@@ -1,6 +1,17 @@
 package m3fs
 
-// Request-gate opcodes (client → m3fs, no kernel involvement).
+// Request-gate opcodes (client → m3fs, no kernel involvement). Every
+// request message is framed as
+//
+//	op u64 | key u64 | seq u64 | op-specific arguments
+//
+// where (key, seq) is the client's idempotency token: key identifies
+// the client (its PE number), seq is a per-client monotonic counter
+// for mutating operations, and seq 0 means "no token" (reads and
+// naturally idempotent operations). The service remembers applied
+// tokens — across restarts, via the journal — so a retransmitted
+// mutation is answered with its original outcome instead of being
+// applied twice (docs/RECOVERY.md).
 const (
 	fsOpen uint64 = iota + 1
 	fsClose
@@ -25,7 +36,10 @@ const (
 	// obtains a memory capability for it.
 	xLocate uint64 = iota + 20
 	// xAppend reserves new blocks at the end of the file and returns a
-	// memory capability for the new extent.
+	// memory capability for the new extent. Its arguments carry an
+	// idempotency token (key, seq) right after the opcode, like the
+	// request-gate framing: a deduplicated retry must be answered with
+	// the original extent, or the client's file offsets diverge.
 	xAppend
 	// xGetSGate hands the client a send gate to the request gate,
 	// labelled with the session identifier.

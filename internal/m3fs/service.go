@@ -23,6 +23,14 @@ type Config struct {
 	// Image, when set, is a filesystem image the service loads into
 	// its DRAM region at start (boot from persistent storage).
 	Image []byte
+	// Journal enables the metadata write-ahead journal in the tail of
+	// the region: the region is then requested as supervisor-stable
+	// memory, and a restarted incarnation rebuilds the filesystem from
+	// Image plus the committed journal records (docs/RECOVERY.md).
+	Journal bool
+	// JournalSize is the journal area carved from the region tail
+	// (default DefaultJournalSize).
+	JournalSize int
 }
 
 func (c *Config) defaults() {
@@ -34,6 +42,9 @@ func (c *Config) defaults() {
 	}
 	if c.AppendBlocks == 0 {
 		c.AppendBlocks = DefaultAppendBlocks
+	}
+	if c.Journal && c.JournalSize == 0 {
+		c.JournalSize = DefaultJournalSize
 	}
 }
 
@@ -61,12 +72,27 @@ type Service struct {
 	sessions  map[uint64]*session
 	nextIdent uint64
 
+	// applied remembers the outcome of every tokened mutation (lookup
+	// only, so it stays off m3vet's nondeterminism radar); with the
+	// journal on it is rebuilt across restarts by replay.
+	applied map[token]appliedEntry
+	// jbase/jsize locate the journal area inside the region (jsize 0 =
+	// journaling off); jcommitted is the committed record bytes.
+	jbase, jsize, jcommitted int
+
 	// Stats for the evaluation.
 	Requests  uint64
 	Exchanges uint64
 	// RepliesLost counts replies abandoned because the client became
 	// unreachable (fault injection).
 	RepliesLost uint64
+	// Recovered reports that Start found a committed journal from an
+	// earlier incarnation; ReplayedRecords counts its records.
+	Recovered       bool
+	ReplayedRecords int
+	// Deduped counts retransmitted mutations answered from the applied
+	// map instead of being re-executed.
+	Deduped uint64
 
 	// SyncedImage holds the image written by the last sync request:
 	// the stand-in for the persistent storage device the prototype
@@ -97,17 +123,35 @@ func Program(kern *core.Kernel, cfg Config, ready func(*Service)) core.Program {
 	}
 }
 
-// Start allocates the backing region, formats the filesystem, and
+// Start allocates the backing region, formats the filesystem (or
+// rebuilds it from the journal left by a previous incarnation), and
 // registers the service at the kernel.
 func Start(env *m3.Env, cfg Config) (*Service, error) {
 	cfg.defaults()
-	s := &Service{cfg: cfg, env: env, sessions: make(map[uint64]*session)}
+	s := &Service{
+		cfg:      cfg,
+		env:      env,
+		sessions: make(map[uint64]*session),
+		applied:  make(map[token]appliedEntry),
+	}
+	fsBytes := cfg.RegionSize
 	var err error
-	s.mem, err = env.ReqMem(cfg.RegionSize, dtu.PermRW)
+	if cfg.Journal {
+		if cfg.JournalSize < journalHdrSize || cfg.JournalSize >= cfg.RegionSize {
+			return nil, fmt.Errorf("m3fs: journal size %d does not fit region %d", cfg.JournalSize, cfg.RegionSize)
+		}
+		fsBytes = cfg.RegionSize - cfg.JournalSize
+		// A journaled region must keep its address (and contents)
+		// across incarnations, or the journal would vanish with the
+		// crash it exists to survive.
+		s.mem, err = env.ReqMemStable(cfg.RegionSize, dtu.PermRW)
+	} else {
+		s.mem, err = env.ReqMem(cfg.RegionSize, dtu.PermRW)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("m3fs: region: %w", err)
 	}
-	s.fs = NewFsCore(cfg.RegionSize, cfg.BlockSize)
+	s.fs = NewFsCore(fsBytes, cfg.BlockSize)
 	s.ctrl, err = env.NewRecvGate(256, 8)
 	if err != nil {
 		return nil, fmt.Errorf("m3fs: ctrl gate: %w", err)
@@ -125,6 +169,11 @@ func Start(env *m3.Env, cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.Journal {
+		if err := s.initJournal(); err != nil {
+			return nil, err
+		}
+	}
 	srvSel := env.AllocSel()
 	var o kif.OStream
 	o.Op(kif.SysCreateSrv).Sel(srvSel).Sel(s.ctrl.Sel()).Str(ServiceName)
@@ -136,6 +185,78 @@ func Start(env *m3.Env, cfg Config) (*Service, error) {
 
 // FS exposes the filesystem core (tests, fsck).
 func (s *Service) FS() *FsCore { return s.fs }
+
+// initJournal reads the journal area from DRAM. A valid header means a
+// previous incarnation ran here: its committed records are replayed on
+// top of the just-(re)built base filesystem, which also rebuilds the
+// idempotency map. Anything else is first boot, and a fresh empty
+// header is committed.
+func (s *Service) initJournal() error {
+	s.jbase = s.cfg.RegionSize - s.cfg.JournalSize
+	s.jsize = s.cfg.JournalSize
+	hdr := make([]byte, journalHdrSize)
+	if err := s.mem.Read(hdr, s.jbase); err != nil {
+		return fmt.Errorf("m3fs: journal header read: %w", err)
+	}
+	hs := kif.NewIStream(hdr)
+	magic, _, clen := hs.U64(), hs.U64(), int(int64(hs.U64()))
+	if magic != journalMagic {
+		s.jcommitted = 0
+		if err := s.mem.Write(encodeJournalHeader(0), s.jbase); err != nil {
+			return fmt.Errorf("m3fs: journal format: %w", err)
+		}
+		return nil
+	}
+	if clen < 0 || journalHdrSize+clen > s.jsize {
+		return fmt.Errorf("m3fs: journal commits %d bytes beyond its %d-byte area", clen, s.jsize)
+	}
+	area := make([]byte, journalHdrSize+clen)
+	if err := s.mem.Read(area, s.jbase); err != nil {
+		return fmt.Errorf("m3fs: journal read: %w", err)
+	}
+	recs, err := DecodeJournal(area)
+	if err != nil {
+		return err
+	}
+	s.compute(costJournalReplay * sim.Time(len(recs)))
+	applied, err := ReplayJournal(s.fs, recs)
+	if err != nil {
+		return err
+	}
+	s.applied = applied
+	s.jcommitted = clen
+	s.Recovered = true
+	s.ReplayedRecords = len(recs)
+	return nil
+}
+
+// journalFits reports whether a record of n more bytes can still be
+// committed (always true with journaling off). Checked before applying
+// a mutation, so the in-memory state never runs ahead of what the
+// journal can make durable.
+func (s *Service) journalFits(n int) bool {
+	return s.jsize == 0 || journalHdrSize+s.jcommitted+n <= s.jsize
+}
+
+// commitMut makes an applied mutation durable and replayable: append
+// the record, commit the header, and remember the token's outcome. A
+// crash between the two DRAM writes leaves the record uncommitted —
+// exactly matching the reply the client never got.
+func (s *Service) commitMut(tok token, rec []byte, entry appliedEntry) {
+	if s.jsize > 0 && rec != nil {
+		s.compute(costJournalAppend)
+		if err := s.mem.Write(rec, s.jbase+journalHdrSize+s.jcommitted); err != nil {
+			panic(fmt.Sprintf("m3fs: journal append failed: %v", err))
+		}
+		s.jcommitted += len(rec)
+		if err := s.mem.Write(encodeJournalHeader(s.jcommitted), s.jbase); err != nil {
+			panic(fmt.Sprintf("m3fs: journal commit failed: %v", err))
+		}
+	}
+	if tok.seq != 0 {
+		s.applied[tok] = entry
+	}
+}
 
 // Serve handles control (kernel) and request (client) messages forever.
 // The server loop is a daemon: it parking idle at the end of a run is
@@ -218,7 +339,9 @@ func (s *Service) handleExchange(sess *session, args *kif.IStream, msg *dtu.Mess
 		}
 		s.replyExtent(msg, of, ext, extOff, extLen)
 	case xAppend:
+		key, seq := args.U64(), args.U64()
 		fd, blocks, noMerge := args.U64(), int(args.U64()), args.U64() != 0
+		tok := token{key, seq}
 		of := sess.files[fd]
 		if of == nil || !of.writable {
 			s.replyXchgErr(msg, kif.ErrNoPerm)
@@ -226,6 +349,20 @@ func (s *Service) handleExchange(sess *session, args *kif.IStream, msg *dtu.Mess
 		}
 		if blocks <= 0 {
 			blocks = s.cfg.AppendBlocks
+		}
+		if prev, done := s.applied[tok]; seq != 0 && done {
+			// Retransmit (reply lost, or lost with the incarnation that
+			// sent it): hand back the original extent, never a new one,
+			// or the client's file offsets diverge from the metadata.
+			s.Deduped++
+			s.compute(costLocate)
+			s.replyExtent(msg, of, prev.ext, prev.extOff, prev.extLen)
+			return
+		}
+		rec := encodeRecord(JRecord{Kind: JAppend, Key: key, Seq: seq, Ino: of.ino.Ino, Blocks: blocks, NoMerge: noMerge})
+		if !s.journalFits(len(rec)) {
+			s.replyXchgErr(msg, kif.ErrNoSpace)
+			return
 		}
 		s.compute(costAppend)
 		ext, err := s.fs.Append(of.ino, blocks, noMerge)
@@ -236,6 +373,7 @@ func (s *Service) handleExchange(sess *session, args *kif.IStream, msg *dtu.Mess
 		// The new extent begins at the current allocation end.
 		extLen := int64(ext.Blocks) * int64(s.fs.BlockSize)
 		extOff := int64(of.ino.AllocBlocks-ext.Blocks) * int64(s.fs.BlockSize)
+		s.commitMut(tok, rec, appliedEntry{ext: ext, extOff: extOff, extLen: extLen, hasExt: true})
 		s.replyExtent(msg, of, ext, extOff, extLen)
 	default:
 		s.replyXchgErr(msg, kif.ErrUnsupported)
@@ -279,16 +417,25 @@ func (s *Service) handleRequest(msg *dtu.Message) {
 	s.Requests++
 	sess := s.sessions[msg.Label]
 	is := kif.NewIStream(msg.Data)
-	op := is.U64()
+	op, key, seq := is.U64(), is.U64(), is.U64()
+	tok := token{key, seq}
 	if sess == nil {
 		s.replyErr(s.reqs, msg, kif.ErrNoSuchSession)
+		return
+	}
+	if _, done := s.applied[tok]; seq != 0 && done {
+		// Retransmit of an already applied mutation (all tokened
+		// request-gate ops reply a bare OK, so the original outcome
+		// needs no replaying beyond the status).
+		s.Deduped++
+		s.replyOK(msg)
 		return
 	}
 	switch op {
 	case fsOpen:
 		s.reqOpen(sess, is, msg)
 	case fsClose:
-		s.reqClose(sess, is, msg)
+		s.reqClose(sess, tok, is, msg)
 	case fsStat:
 		path := is.Str()
 		ino, depth, err := s.lookup(path)
@@ -308,41 +455,65 @@ func (s *Service) handleRequest(msg *dtu.Message) {
 		s.replyStat(msg, of.ino)
 	case fsMkdir:
 		path := is.Str()
+		rec := encodeRecord(JRecord{Kind: JMkdir, Key: key, Seq: seq, Path: path})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		depth, err := s.fs.Mkdir(path)
 		s.compute(costMkdir + costPerComponent*sim.Time(depth))
 		if err != nil {
 			s.replyErr(s.reqs, msg, kif.ErrExists)
 			return
 		}
+		s.commitMut(tok, rec, appliedEntry{})
 		s.replyOK(msg)
 	case fsUnlink:
 		path := is.Str()
+		rec := encodeRecord(JRecord{Kind: JUnlink, Key: key, Seq: seq, Path: path})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		depth, err := s.fs.Unlink(path)
 		s.compute(costUnlink + costPerComponent*sim.Time(depth))
 		if err != nil {
 			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
 			return
 		}
+		s.commitMut(tok, rec, appliedEntry{})
 		s.replyOK(msg)
 	case fsReadDir:
 		s.reqReadDir(is, msg)
 	case fsLink:
 		oldPath, newPath := is.Str(), is.Str()
+		rec := encodeRecord(JRecord{Kind: JLink, Key: key, Seq: seq, Path: oldPath, Path2: newPath})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		depth, err := s.fs.Link(oldPath, newPath)
 		s.compute(costLink + costPerComponent*sim.Time(depth))
 		if err != nil {
 			s.replyErr(s.reqs, msg, kif.ErrExists)
 			return
 		}
+		s.commitMut(tok, rec, appliedEntry{})
 		s.replyOK(msg)
 	case fsRename:
 		oldPath, newPath := is.Str(), is.Str()
+		rec := encodeRecord(JRecord{Kind: JRename, Key: key, Seq: seq, Path: oldPath, Path2: newPath})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		depth, err := s.fs.Rename(oldPath, newPath)
 		s.compute(costRename + costPerComponent*sim.Time(depth))
 		if err != nil {
 			s.replyErr(s.reqs, msg, kif.ErrExists)
 			return
 		}
+		s.commitMut(tok, rec, appliedEntry{})
 		s.replyOK(msg)
 	case fsSync:
 		img, err := s.DumpImage()
@@ -363,6 +534,10 @@ func (s *Service) lookup(path string) (*Inode, int, error) {
 	return ino, depth, err
 }
 
+// reqOpen opens (and possibly creates or truncates) a file. Open is
+// naturally idempotent — a retried create finds the file, a retried
+// truncate re-truncates to the same zero — so it carries no token, but
+// its side effects are still journaled.
 func (s *Service) reqOpen(sess *session, is *kif.IStream, msg *dtu.Message) {
 	path, flags := is.Str(), is.U64()
 	ino, depth, err := s.fs.Lookup(path)
@@ -372,13 +547,25 @@ func (s *Service) reqOpen(sess *session, is *kif.IStream, msg *dtu.Message) {
 			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
 			return
 		}
+		rec := encodeRecord(JRecord{Kind: JCreate, Path: path})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		ino, _, err = s.fs.Create(path)
 		if err != nil {
 			s.replyErr(s.reqs, msg, kif.ErrNoSuchFile)
 			return
 		}
+		s.commitMut(token{}, rec, appliedEntry{})
 	} else if flags&flagTrunc != 0 && !ino.Dir {
+		rec := encodeRecord(JRecord{Kind: JTrunc, Ino: ino.Ino})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		s.fs.Truncate(ino, 0)
+		s.commitMut(token{}, rec, appliedEntry{})
 	}
 	sess.nextFD++
 	fd := sess.nextFD
@@ -392,7 +579,7 @@ func (s *Service) reqOpen(sess *session, is *kif.IStream, msg *dtu.Message) {
 	s.reply(s.reqs, msg, &o)
 }
 
-func (s *Service) reqClose(sess *session, is *kif.IStream, msg *dtu.Message) {
+func (s *Service) reqClose(sess *session, tok token, is *kif.IStream, msg *dtu.Message) {
 	fd, size := is.U64(), int64(is.U64())
 	of := sess.files[fd]
 	if of == nil {
@@ -401,7 +588,15 @@ func (s *Service) reqClose(sess *session, is *kif.IStream, msg *dtu.Message) {
 	}
 	s.compute(costClose)
 	if of.writable {
+		rec := encodeRecord(JRecord{Kind: JTrunc, Ino: of.ino.Ino, Size: size})
+		if !s.journalFits(len(rec)) {
+			s.replyErr(s.reqs, msg, kif.ErrNoSpace)
+			return
+		}
 		s.fs.Truncate(of.ino, size)
+		s.commitMut(tok, rec, appliedEntry{})
+	} else {
+		s.commitMut(tok, nil, appliedEntry{})
 	}
 	delete(sess.files, fd)
 	s.replyOK(msg)
