@@ -24,7 +24,7 @@ bench:
 # (docs/FAULTS.md, docs/RECOVERY.md). Race-enabled — fault events must
 # not break the engine's strict hand-off.
 chaos:
-	go test -race -run 'TestFaultDeterminism|TestChaosMatrix' ./internal/bench
+	go test -race -run 'TestFaultDeterminism|TestChaosMatrix|TestObsChaosStreamDeterministic|TestFlightDump' ./internal/bench
 
 # Short fuzz smoke over the two crash-facing decoders: the fault-plan
 # parser and the m3fs metadata journal (the full fuzzers run for as

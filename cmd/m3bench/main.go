@@ -12,14 +12,14 @@ import (
 )
 
 func main() {
-	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util,efault,erecover")
+	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util,efault,erecover,elat")
 	csv := flag.String("csv", "", "directory to additionally write CSV tables into")
 	flag.Parse()
 	csvDir = *csv
 
 	want := map[string]bool{}
 	if *exps == "all" {
-		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util", "efault", "erecover"} {
+		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util", "efault", "erecover", "elat"} {
 			want[e] = true
 		}
 	} else {
@@ -41,6 +41,7 @@ func main() {
 		{"util", runUtil},
 		{"efault", runEFault},
 		{"erecover", runERecover},
+		{"elat", runELat},
 	}
 	for _, r := range runners {
 		if !want[r.name] {

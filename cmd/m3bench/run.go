@@ -123,6 +123,19 @@ func runERecover() error {
 	return writeCSV(csvDir, r)
 }
 
+// runELat reports the latency-percentile experiment (E-lat in
+// EXPERIMENTS.md): per-operation latency distributions on M3 vs the
+// Linux model, plus M3's hardware-level histograms from the
+// structured tracer.
+func runELat() error {
+	r, err := bench.ELat()
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return writeCSV(csvDir, r)
+}
+
 func runFig7() error {
 	r, err := bench.Fig7()
 	if err != nil {

@@ -13,12 +13,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/m3"
 	"repro/internal/m3fs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 	"repro/internal/workload"
@@ -31,6 +31,7 @@ func main() {
 	instances := flag.Int("n", 1, "parallel instances (one kernel, one m3fs)")
 	verbose := flag.Bool("v", false, "per-PE DTU statistics")
 	traceN := flag.Int("trace", 0, "print the first N trace events (DTU sends/receives, syscalls)")
+	traceOut := flag.String("trace-out", "", "write the run's structured event stream as Chrome-trace/Perfetto JSON to this file")
 	flag.Parse()
 
 	b, err := workload.ByName(*name)
@@ -53,8 +54,13 @@ func main() {
 			fmt.Printf("[%10d] %-8s %s\n", at, source, event)
 		})
 	}
-	n := 2 + b.PEs + *pes
-	plat := tile.NewPlatform(eng, tile.Homogeneous(n))
+	var events []obs.Event
+	cfg := tile.Homogeneous(2 + b.PEs + *pes)
+	if *traceOut != "" {
+		cfg.Obs = obs.New(obs.Options{Sink: func(ev obs.Event) { events = append(events, ev) }})
+	}
+	n := len(cfg.PEs)
+	plat := tile.NewPlatform(eng, cfg)
 	kern := core.Boot(plat, 0)
 	if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
 		log.Fatal(err)
@@ -89,17 +95,23 @@ func main() {
 	fmt.Printf("  total: %12d cycles simulated, %d events\n", end, eng.ExecutedEvents())
 	fmt.Printf("  NoC:   %d packets, %d bytes\n", plat.Net.PacketsSent, plat.Net.BytesSent)
 	fmt.Printf("  kernel CPU utilization: %.1f%%, syscalls:", kern.CPU().Utilization()*100)
-	names := make([]string, 0, len(kern.Stats.Syscalls))
-	counts := make(map[string]uint64, len(kern.Stats.Syscalls))
-	for op, n := range kern.Stats.Syscalls {
-		names = append(names, op.String())
-		counts[op.String()] = n
-	}
-	sort.Strings(names)
-	for _, op := range names {
-		fmt.Printf(" %s=%d", op, counts[op])
+	for _, sc := range kern.Stats.SortedSyscalls() {
+		fmt.Printf(" %s=%d", sc.Op, sc.Count)
 	}
 	fmt.Println()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePerfetto(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  trace: %d structured events -> %s\n", len(events), *traceOut)
+	}
 	if *verbose {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "  PE\ttype\tmsgs-sent\tmsgs-recv\treplies\tmem-reads\tmem-writes\tbytes-read\tbytes-written\tbusy")

@@ -1,12 +1,15 @@
 // Command m3trace records and replays workload traces, the paper's
 // benchmark methodology (§5.6): record a benchmark's syscall sequence
-// on one OS model, store it, and replay it on the other.
+// on one OS model, store it, and replay it on the other. The export
+// subcommand runs a workload on M3 with the structured tracer armed
+// and writes the event stream as Chrome-trace/Perfetto JSON.
 //
 // Usage:
 //
 //	m3trace record -w tar -os linux -o tar.trace
 //	m3trace replay -i tar.trace -os m3
 //	m3trace show   -i tar.trace
+//	m3trace export -w tar -o tar.json
 package main
 
 import (
@@ -14,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/linuxos"
 	"repro/internal/m3"
 	"repro/internal/m3fs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 	"repro/internal/trace"
@@ -36,13 +41,15 @@ func main() {
 		cmdReplay(os.Args[2:])
 	case "show":
 		cmdShow(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: m3trace record|replay|show [flags]")
+	fmt.Fprintln(os.Stderr, "usage: m3trace record|replay|show|export [flags]")
 	os.Exit(2)
 }
 
@@ -139,6 +146,71 @@ func cmdShow(args []string) {
 			fmt.Printf("%5d  %-8s %s\n", i, r.Kind, r.Path)
 		}
 	}
+	showSummary(tr)
+}
+
+// showSummary prints the per-kind footer: record counts in kind-name
+// order plus the trace's aggregate compute cycles and I/O volume.
+func showSummary(tr *trace.Trace) {
+	counts := make(map[trace.Kind]int)
+	var compute, read, written uint64
+	for _, r := range tr.Records {
+		counts[r.Kind]++
+		switch r.Kind {
+		case trace.KCompute:
+			compute += r.Cycles
+		case trace.KRead:
+			read += uint64(r.Size)
+		case trace.KWrite:
+			written += uint64(r.Size)
+		case trace.KCopyRange:
+			read += uint64(r.Size)
+			written += uint64(r.Size)
+		}
+	}
+	kinds := make([]trace.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].String() < kinds[j].String() })
+	fmt.Println("summary:")
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %6d\n", k, counts[k])
+	}
+	fmt.Printf("  compute cycles: %d\n", compute)
+	fmt.Printf("  bytes read: %d, bytes written: %d\n", read, written)
+}
+
+// cmdExport runs a workload on M3 with the structured tracer armed and
+// writes the event stream as Chrome-trace/Perfetto JSON (open in
+// chrome://tracing or ui.perfetto.dev).
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	wl := fs.String("w", "tar", "workload to export")
+	out := fs.String("o", "", "output JSON file (default <workload>.json)")
+	_ = fs.Parse(args)
+	b, err := workload.ByName(*wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var events []obs.Event
+	tracer := obs.New(obs.Options{Sink: func(ev obs.Event) { events = append(events, ev) }})
+	cycles := runM3(b, tracer, func(os workload.OS) error { return b.Run(os) })
+	path := *out
+	if path == "" {
+		path = *wl + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WritePerfetto(f, events); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d structured events (%d simulated cycles) to %s\n", len(events), cycles, path)
 }
 
 // runOn executes setup + fn on the named OS model and returns the
@@ -162,33 +234,43 @@ func runOn(osName string, b workload.Benchmark, fn func(workload.OS) error) sim.
 		})
 		eng.Run()
 	case "m3":
-		eng := sim.NewEngine()
-		plat := tile.NewPlatform(eng, tile.Homogeneous(2+b.PEs))
-		kern := core.Boot(plat, 0)
-		if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
-			env := m3.NewEnv(ctx, kern)
-			os, err := workload.NewM3OS(env)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := b.Setup(os); err != nil {
-				log.Fatal(err)
-			}
-			start := ctx.Now()
-			if err := fn(os); err != nil {
-				log.Fatal(err)
-			}
-			took = ctx.Now() - start
-			env.Exit(0)
-		}); err != nil {
-			log.Fatal(err)
-		}
-		eng.Run()
+		took = runM3(b, nil, fn)
 	default:
 		log.Fatalf("m3trace: unknown os %q (want linux or m3)", osName)
 	}
+	return took
+}
+
+// runM3 boots an M3 system (with the structured tracer wired when
+// non-nil), runs setup + fn, and returns the simulated cycles fn took.
+func runM3(b workload.Benchmark, tracer *obs.Tracer, fn func(workload.OS) error) sim.Time {
+	var took sim.Time
+	eng := sim.NewEngine()
+	cfg := tile.Homogeneous(2 + b.PEs)
+	cfg.Obs = tracer
+	plat := tile.NewPlatform(eng, cfg)
+	kern := core.Boot(plat, 0)
+	if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, kern)
+		os, err := workload.NewM3OS(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Setup(os); err != nil {
+			log.Fatal(err)
+		}
+		start := ctx.Now()
+		if err := fn(os); err != nil {
+			log.Fatal(err)
+		}
+		took = ctx.Now() - start
+		env.Exit(0)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
 	return took
 }

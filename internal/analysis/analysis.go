@@ -69,6 +69,7 @@ func All() []*Analyzer {
 		CrossLayer,
 		FaultSite,
 		EpochFence,
+		ObsGuard,
 	}
 }
 

@@ -21,6 +21,7 @@ var simFacing = map[string]bool{
 	"repro/internal/tile":  true,
 	"repro/internal/accel": true,
 	"repro/internal/fault": true,
+	"repro/internal/obs":   true,
 }
 
 // simEnginePath is the only package allowed to use Go concurrency: the

@@ -41,6 +41,10 @@ type ChaosRun struct {
 	// (entry 0 is boot; later entries are supervisor restarts). The
 	// recovery sweep derives time-to-recover from it.
 	FSReadyAt []sim.Time
+	// FlightDump is the flight-recorder post-mortem, captured
+	// automatically when a structured tracer with an armed recorder is
+	// installed and the run failed (deadlock or any instance error).
+	FlightDump string
 }
 
 // RunM3Chaos runs n parallel instances of b on one M3 system under the
@@ -121,5 +125,18 @@ func RunM3Chaos(b workload.Benchmark, n int, plan fault.Plan, opt M3Options) (*C
 	cr.Inj = inj
 	s.eng.Run()
 	cr.Stats = RunStats{ExecutedEvents: s.eng.ExecutedEvents(), FinalTime: s.eng.Now()}
+	if opt.Obs.FlightRecording() {
+		// An unfinished instance covers both error exits and crash kills
+		// (a crashed instance stops writing with Err == nil).
+		failed := s.eng.Deadlocked()
+		for i := range cr.Outcomes {
+			if !cr.Outcomes[i].Finished {
+				failed = true
+			}
+		}
+		if failed {
+			cr.FlightDump = opt.Obs.FlightDump()
+		}
+	}
 	return cr, nil
 }

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/linuxos"
+	"repro/internal/m3"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+)
+
+// Experiment E-lat: latency percentiles instead of totals. The same
+// open/read/write/stat/close loop runs on M3 and on the Linux model;
+// every operation is timed individually into deterministic power-of-2
+// histograms (package obs), so the comparison shows the latency
+// *distribution* — tails included — not just the mean the breakdown
+// figures report. On M3 the structured tracer additionally collects
+// the hardware-level histograms (syscall RTT, DTU message latency,
+// RDMA transfer time, NoC link occupancy, service-call RTT).
+
+const (
+	elatFileSize = 256 << 10
+	elatBufSize  = 4 << 10
+	elatIters    = 32
+)
+
+// opHists is the fixed per-operation histogram set of one system.
+type opHists struct {
+	hs [5]obs.Histogram
+}
+
+var opHistNames = [5]string{"open", "read", "write", "stat", "close"}
+
+const (
+	opOpen = iota
+	opRead
+	opWrite
+	opStat
+	opClose
+)
+
+func newOpHists() *opHists {
+	o := &opHists{}
+	for i := range o.hs {
+		o.hs[i].Name = opHistNames[i]
+	}
+	return o
+}
+
+// all returns the histograms in fixed op order.
+func (o *opHists) all() []*obs.Histogram {
+	out := make([]*obs.Histogram, len(o.hs))
+	for i := range o.hs {
+		out[i] = &o.hs[i]
+	}
+	return out
+}
+
+// timedOS wraps a workload.OS and observes the latency of each file
+// operation against the simulation clock.
+type timedOS struct {
+	workload.OS
+	clock func() sim.Time
+	hists *opHists
+}
+
+func (t *timedOS) observe(op int, t0 sim.Time) {
+	t.hists.hs[op].Observe(uint64(t.clock() - t0))
+}
+
+func (t *timedOS) Open(path string, flags workload.OpenFlags) (workload.File, error) {
+	t0 := t.clock()
+	f, err := t.OS.Open(path, flags)
+	t.observe(opOpen, t0)
+	if err != nil {
+		return nil, err
+	}
+	return &timedFile{f: f, os: t}, nil
+}
+
+func (t *timedOS) Stat(path string) (workload.Stat, error) {
+	t0 := t.clock()
+	st, err := t.OS.Stat(path)
+	t.observe(opStat, t0)
+	return st, err
+}
+
+// timedFile wraps the read/write/close paths of one open file.
+type timedFile struct {
+	f  workload.File
+	os *timedOS
+}
+
+func (f *timedFile) Read(buf []byte) (int, error) {
+	t0 := f.os.clock()
+	n, err := f.f.Read(buf)
+	f.os.observe(opRead, t0)
+	return n, err
+}
+
+func (f *timedFile) Write(buf []byte) (int, error) {
+	t0 := f.os.clock()
+	n, err := f.f.Write(buf)
+	f.os.observe(opWrite, t0)
+	return n, err
+}
+
+func (f *timedFile) Close() error {
+	t0 := f.os.clock()
+	err := f.f.Close()
+	f.os.observe(opClose, t0)
+	return err
+}
+
+// elatLoop is the measured phase: elatIters rounds of open, stream the
+// file in elatBufSize reads, stat, close, then one rewrite of the file.
+// The setup (untimed) created /elat.dat beforehand.
+func elatLoop(os workload.OS, h *opHists, clock func() sim.Time) error {
+	t := &timedOS{OS: os, clock: clock, hists: h}
+	buf := make([]byte, elatBufSize)
+	for i := 0; i < elatIters; i++ {
+		f, err := t.Open("/elat.dat", workload.Read)
+		if err != nil {
+			return err
+		}
+		for {
+			n, rerr := f.Read(buf)
+			if n == 0 || rerr != nil {
+				break
+			}
+		}
+		if _, err := t.Stat("/elat.dat"); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	out, err := t.Open("/elat.out", workload.Write|workload.Create|workload.Trunc)
+	if err != nil {
+		return err
+	}
+	for written := 0; written < elatFileSize; written += len(buf) {
+		if _, err := out.Write(buf); err != nil {
+			return err
+		}
+	}
+	return out.Close()
+}
+
+func elatSetup(os workload.OS) error {
+	return writeFilePattern(os, "/elat.dat", elatFileSize)
+}
+
+// ELatResult holds the E-lat percentile tables.
+type ELatResult struct {
+	M3, Lx *opHists
+	// DTU is the M3 run's hardware-level histogram set, in obs.HistID
+	// order.
+	DTU []*obs.Histogram
+}
+
+// ELat runs experiment E-lat on both systems.
+func ELat() (*ELatResult, error) {
+	res := &ELatResult{M3: newOpHists(), Lx: newOpHists()}
+	tracer := obs.New(obs.Options{})
+	s := bootM3(M3Options{Obs: tracer}, 1)
+	var runErr error
+	if _, err := s.kern.StartInit("elat", tile.CoreXtensa, func(ctx *tile.Ctx) {
+		env := m3.NewEnv(ctx, s.kern)
+		wos, err := workload.NewM3OS(env)
+		if err != nil {
+			runErr = err
+			env.Exit(1)
+			return
+		}
+		if err := elatSetup(wos); err != nil {
+			runErr = err
+			env.Exit(1)
+			return
+		}
+		if err := elatLoop(wos, res.M3, ctx.Now); err != nil {
+			runErr = err
+			env.Exit(1)
+			return
+		}
+		env.Exit(0)
+	}); err != nil {
+		return nil, err
+	}
+	s.eng.Run()
+	if runErr != nil {
+		return nil, fmt.Errorf("elat on M3: %w", runErr)
+	}
+	res.DTU = tracer.Histograms()
+
+	eng := sim.NewEngine()
+	sys := linuxos.New(eng, linuxos.ProfileXtensa, false)
+	sys.Spawn("elat", func(pr *linuxos.Proc) {
+		wos := workload.NewLxOS(sys, pr)
+		if err := elatSetup(wos); err != nil {
+			runErr = err
+			return
+		}
+		runErr = elatLoop(wos, res.Lx, pr.P().Now)
+	})
+	eng.Run()
+	if runErr != nil {
+		return nil, fmt.Errorf("elat on Linux: %w", runErr)
+	}
+	return res, nil
+}
+
+// Print writes the percentile tables.
+func (r *ELatResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "E-lat: per-operation latency percentiles (cycles)\n")
+	tw := newTable(w, "op", "system", "count", "mean", "p50", "p90", "p99", "max")
+	for i, m3h := range r.M3.all() {
+		for _, sh := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"M3", m3h}, {"Lx", r.Lx.all()[i]}} {
+			h := sh.h
+			tw.row(h.Name, sh.name, fmt.Sprint(h.Count()), fmt.Sprint(h.Mean()),
+				fmt.Sprint(h.Quantile(0.50)), fmt.Sprint(h.Quantile(0.90)),
+				fmt.Sprint(h.Quantile(0.99)), fmt.Sprint(h.Max()))
+		}
+	}
+	tw.flush()
+	fmt.Fprintf(w, "\nE-lat: M3 hardware-level histograms (cycles)\n")
+	tw = newTable(w, "hist", "count", "mean", "p50", "p90", "p99", "max")
+	for _, h := range r.DTU {
+		tw.row(h.Name, fmt.Sprint(h.Count()), fmt.Sprint(h.Mean()),
+			fmt.Sprint(h.Quantile(0.50)), fmt.Sprint(h.Quantile(0.90)),
+			fmt.Sprint(h.Quantile(0.99)), fmt.Sprint(h.Max()))
+	}
+	tw.flush()
+}
+
+// CSV renders the E-lat tables.
+func (r *ELatResult) CSV() []*CSVTable {
+	ops := &CSVTable{Name: "elat_ops", Rows: [][]string{
+		{"op", "system", "count", "mean_cycles", "p50", "p90", "p99", "max"},
+	}}
+	for i, m3h := range r.M3.all() {
+		for _, sh := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"m3", m3h}, {"lx", r.Lx.all()[i]}} {
+			h := sh.h
+			ops.Rows = append(ops.Rows, []string{h.Name, sh.name,
+				fmt.Sprint(h.Count()), fmt.Sprint(h.Mean()),
+				fmt.Sprint(h.Quantile(0.50)), fmt.Sprint(h.Quantile(0.90)),
+				fmt.Sprint(h.Quantile(0.99)), fmt.Sprint(h.Max())})
+		}
+	}
+	dtu := &CSVTable{Name: "elat_dtu", Rows: [][]string{
+		{"hist", "count", "mean_cycles", "p50", "p90", "p99", "max"},
+	}}
+	for _, h := range r.DTU {
+		dtu.Rows = append(dtu.Rows, []string{h.Name,
+			fmt.Sprint(h.Count()), fmt.Sprint(h.Mean()),
+			fmt.Sprint(h.Quantile(0.50)), fmt.Sprint(h.Quantile(0.90)),
+			fmt.Sprint(h.Quantile(0.99)), fmt.Sprint(h.Max())})
+	}
+	return []*CSVTable{ops, dtu}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/linuxos"
 	"repro/internal/m3"
 	"repro/internal/m3fs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 	"repro/internal/workload"
@@ -58,6 +59,10 @@ type M3Options struct {
 	// Tracer, if set, receives every trace event of the run; the
 	// determinism regression test hashes this stream.
 	Tracer func(at sim.Time, source, event string)
+	// Obs, if set, is the structured tracer wired through the NoC and
+	// every DTU (spans, histograms, flight recorder). Nil keeps
+	// structured observability fully off.
+	Obs *obs.Tracer
 }
 
 // m3System is a booted M3 platform.
@@ -86,7 +91,7 @@ func bootM3NoFS(opt M3Options, appPEs int) *m3System {
 	for i := 0; i < opt.FFTPEs; i++ {
 		types = append(types, tile.CoreFFT)
 	}
-	cfg := tile.Config{PEs: types}
+	cfg := tile.Config{PEs: types, Obs: opt.Obs}
 	cfg.NoC.Unlimited = opt.NoCUnlimited
 	cfg.NoC.Torus = opt.NoCTorus
 	if opt.DRAMPorts > 0 {

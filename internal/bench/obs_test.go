@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// End-to-end tests for the structured observability layer: stream
+// determinism (the acceptance witness for the tentpole), zero overhead
+// when off, causal span reconstruction, and the flight-recorder
+// post-mortem.
+
+// obsStreamHash runs one workload with the structured tracer installed
+// and returns the run statistics plus an FNV hash over the canonical
+// binary encoding of every emitted event.
+func obsStreamHash(t *testing.T, b workload.Benchmark) (RunStats, uint64, int) {
+	t.Helper()
+	h := fnv.New64a()
+	n := 0
+	var buf [obs.EncodedSize]byte
+	tr := obs.New(obs.Options{Sink: func(ev obs.Event) {
+		h.Write(ev.AppendBinary(buf[:0]))
+		n++
+	}})
+	_, st, err := RunM3Stats(b, M3Options{Obs: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, h.Sum64(), n
+}
+
+// TestObsStreamDeterministic: three runs of the same (configuration,
+// seed) pair must produce byte-identical structured event streams —
+// same count, same hash, same engine statistics.
+func TestObsStreamDeterministic(t *testing.T) {
+	b, err := workload.ByName("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, h1, n1 := obsStreamHash(t, b)
+	if n1 == 0 {
+		t.Fatal("run emitted no structured events")
+	}
+	for i := 0; i < 2; i++ {
+		st2, h2, n2 := obsStreamHash(t, b)
+		if st1 != st2 || n1 != n2 {
+			t.Fatalf("run %d differs: %+v/%d events vs %+v/%d", i+2, st2, n2, st1, n1)
+		}
+		if h1 != h2 {
+			t.Fatalf("run %d stream hash differs: %#x vs %#x", i+2, h2, h1)
+		}
+	}
+}
+
+// obsChaosStreamHash is obsStreamHash for a chaos-tier run: the
+// recovery configuration (journaled, supervised m3fs) with a mid-run
+// service crash.
+func obsChaosStreamHash(t *testing.T, b workload.Benchmark, plan fault.Plan) (RunStats, uint64, int) {
+	t.Helper()
+	h := fnv.New64a()
+	n := 0
+	var buf [obs.EncodedSize]byte
+	opt := recoverOpts()
+	opt.Obs = obs.New(obs.Options{Sink: func(ev obs.Event) {
+		h.Write(ev.AppendBinary(buf[:0]))
+		n++
+	}})
+	cr, err := RunM3Chaos(b, 2, plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr.Stats, h.Sum64(), n
+}
+
+// TestObsChaosStreamDeterministic: the stream stays byte-identical
+// under fault injection and service recovery — a crashed and restarted
+// m3fs replays the same event schedule on every run.
+func TestObsChaosStreamDeterministic(t *testing.T) {
+	b, err := workload.ByName("untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := recoverOpts()
+	fsCrashAt := midRunCrashAtOpt(t, b, 2, fault.Plan{Seed: chaosSeed}, opts)
+	plan := fault.Plan{Seed: chaosSeed, Crashes: []fault.Crash{{PE: 1, At: fsCrashAt}}}
+	st1, h1, n1 := obsChaosStreamHash(t, b, plan)
+	if n1 == 0 {
+		t.Fatal("chaos run emitted no structured events")
+	}
+	for i := 0; i < 2; i++ {
+		st2, h2, n2 := obsChaosStreamHash(t, b, plan)
+		if st1 != st2 || n1 != n2 || h1 != h2 {
+			t.Fatalf("chaos run %d differs: %+v/%d/%#x vs %+v/%d/%#x",
+				i+2, st2, n2, h2, st1, n1, h1)
+		}
+	}
+}
+
+// TestObsZeroOverhead: installing the structured tracer — enabled or
+// disabled — must not change the simulation: same executed-event count
+// and final time as a run with no tracer at all. The tracer observes
+// the schedule; it never becomes part of it.
+func TestObsZeroOverhead(t *testing.T) {
+	for _, name := range []string{"tar", "find"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, base, err := RunM3Stats(b, M3Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.ExecutedEvents == 0 {
+			t.Fatalf("%s: baseline executed no events", name)
+		}
+		on := obs.New(obs.Options{Sink: func(obs.Event) {}, FlightRecorder: obs.DefaultFlightRecorder})
+		_, withOn, err := RunM3Stats(b, M3Options{Obs: on})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := obs.New(obs.Options{Sink: func(obs.Event) {}})
+		off.SetEnabled(false)
+		_, withOff, err := RunM3Stats(b, M3Options{Obs: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withOn != base {
+			t.Fatalf("%s: enabled tracer changed the run: %+v vs baseline %+v", name, withOn, base)
+		}
+		if withOff != base {
+			t.Fatalf("%s: disabled tracer changed the run: %+v vs baseline %+v", name, withOff, base)
+		}
+		// The legacy string-trace stream must be bit-identical too: the
+		// structured layer observes the same schedule, it does not
+		// perturb it.
+		lh1, lh2 := legacyHash(t, b, nil), legacyHash(t, b,
+			obs.New(obs.Options{Sink: func(obs.Event) {}, FlightRecorder: obs.DefaultFlightRecorder}))
+		if lh1 != lh2 {
+			t.Fatalf("%s: structured tracer perturbed the legacy trace: %#x vs %#x", name, lh2, lh1)
+		}
+	}
+}
+
+// legacyHash hashes the legacy string-trace stream of one run, with or
+// without the structured tracer installed alongside.
+func legacyHash(t *testing.T, b workload.Benchmark, tr *obs.Tracer) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	opt := M3Options{Obs: tr, Tracer: func(at sim.Time, source, event string) {
+		fmt.Fprintf(h, "%d %s %s\n", at, source, event)
+	}}
+	if _, _, err := RunM3Stats(b, opt); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// TestSyscallNestedSpanChain: at least one syscall must reconstruct as
+// the full nested chain the tentpole promises — the application-side
+// interval containing the DTU message flight to the kernel, the
+// kernel-side handling interval, and the reply flight back, all on one
+// span.
+func TestSyscallNestedSpanChain(t *testing.T) {
+	b, err := workload.ByName("cat+tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	tr := obs.New(obs.Options{Sink: func(ev obs.Event) { events = append(events, ev) }})
+	if _, _, err := RunM3Stats(b, M3Options{Obs: tr}); err != nil {
+		t.Fatal(err)
+	}
+	intervals, _ := obs.Intervals(events)
+	bySpan := make(map[obs.SpanID][]obs.Interval)
+	for _, iv := range intervals {
+		bySpan[iv.Span] = append(bySpan[iv.Span], iv)
+	}
+	for _, ivs := range bySpan {
+		var app, kern, msg, reply *obs.Interval
+		for i := range ivs {
+			iv := &ivs[i]
+			switch iv.Kind {
+			case obs.EvSyscallStart:
+				app = iv
+			case obs.EvKSyscallStart:
+				kern = iv
+			case obs.EvMsgSend:
+				msg = iv
+			case obs.EvReplySend:
+				reply = iv
+			}
+		}
+		if app == nil || kern == nil || msg == nil || reply == nil {
+			continue
+		}
+		// The chain crosses PEs and nests inside the app interval.
+		if app.PE == kern.PE {
+			t.Fatalf("span %d: app and kernel interval on the same PE %d", app.Span, app.PE)
+		}
+		for _, inner := range []*obs.Interval{msg, kern, reply} {
+			if inner.Start < app.Start || inner.End > app.End {
+				t.Fatalf("span %d: %s interval [%d,%d] escapes syscall [%d,%d]",
+					app.Span, inner.Kind, inner.Start, inner.End, app.Start, app.End)
+			}
+		}
+		if !(msg.Start <= kern.Start && kern.End <= reply.End) {
+			t.Fatalf("span %d: chain out of order: msg [%d,%d], kernel [%d,%d], reply [%d,%d]",
+				app.Span, msg.Start, msg.End, kern.Start, kern.End, reply.Start, reply.End)
+		}
+		return // one fully reconstructed chain is the acceptance bar
+	}
+	t.Fatalf("no syscall reconstructed as a full nested span chain (%d intervals)", len(intervals))
+}
+
+// TestFlightDumpOnFailure: the chaos harness must attach the flight
+// recorder's post-mortem exactly when a run fails — here an m3fs crash
+// without supervision, which strands the instances mid-workload.
+func TestFlightDumpOnFailure(t *testing.T) {
+	b, err := workload.ByName("untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsCrashAt := midRunCrashAt(t, b, 2, fault.Plan{Seed: chaosSeed})
+	plan := fault.Plan{Seed: chaosSeed, Crashes: []fault.Crash{{PE: 1, At: fsCrashAt}}}
+	opt := M3Options{Obs: obs.New(obs.Options{FlightRecorder: obs.DefaultFlightRecorder})}
+	cr, err := RunM3Chaos(b, 2, plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for _, o := range cr.Outcomes {
+		if !o.Finished {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("m3fs crash did not fail any instance; the dump test needs a failing run")
+	}
+	if cr.FlightDump == "" {
+		t.Fatal("failing run produced no flight dump")
+	}
+	if !strings.Contains(cr.FlightDump, "flight recorder: last 64 events per PE") ||
+		!strings.Contains(cr.FlightDump, "pe 0 ") {
+		t.Fatalf("unexpected dump:\n%s", cr.FlightDump)
+	}
+}
+
+// TestFlightDumpOnlyOnFailure: a clean run keeps the post-mortem empty
+// even with the recorder armed, and a failing run without a recorder
+// produces none.
+func TestFlightDumpOnlyOnFailure(t *testing.T) {
+	b, err := workload.ByName("untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := M3Options{Obs: obs.New(obs.Options{FlightRecorder: obs.DefaultFlightRecorder})}
+	cr, err := RunM3Chaos(b, 2, fault.Plan{Seed: chaosSeed}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cr.Outcomes {
+		if !o.Finished {
+			t.Fatalf("clean run failed: %+v", o)
+		}
+	}
+	if cr.FlightDump != "" {
+		t.Fatalf("clean run attached a flight dump:\n%s", cr.FlightDump)
+	}
+
+	fsCrashAt := midRunCrashAt(t, b, 2, fault.Plan{Seed: chaosSeed})
+	plan := fault.Plan{Seed: chaosSeed, Crashes: []fault.Crash{{PE: 1, At: fsCrashAt}}}
+	cr, err = RunM3Chaos(b, 2, plan, M3Options{Obs: obs.New(obs.Options{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.FlightDump != "" {
+		t.Fatalf("unarmed recorder attached a dump:\n%s", cr.FlightDump)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 )
@@ -55,6 +56,28 @@ type Stats struct {
 	// deadline, and supervised services respawned after a reap.
 	ServiceTimeouts uint64
 	ServiceRestarts uint64
+}
+
+// SyscallCount is one (opcode, count) pair of the syscall counter map.
+type SyscallCount struct {
+	Op    kif.SyscallOp
+	Count uint64
+}
+
+// SortedSyscalls returns the syscall counters in opcode-name order —
+// the one sanctioned way to report the map, so no output path walks it
+// in randomized map order.
+func (s *Stats) SortedSyscalls() []SyscallCount {
+	ops := make([]kif.SyscallOp, 0, len(s.Syscalls))
+	for op := range s.Syscalls {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+	out := make([]SyscallCount, len(ops))
+	for i, op := range ops {
+		out[i] = SyscallCount{Op: op, Count: s.Syscalls[op]}
+	}
+	return out
 }
 
 // Kernel is the M3 kernel instance, bound to a dedicated kernel PE.
@@ -313,6 +336,11 @@ func (k *Kernel) handleSyscall(p *sim.Process, msg *dtu.Message) {
 	if k.Plat.Eng.Tracing() {
 		k.Plat.Eng.Emit("kernel", fmt.Sprintf("syscall %s from vpe %d", op, msg.Label))
 	}
+	if tr := k.Plat.Obs; tr.On() {
+		tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LKernel,
+			Kind: obs.EvKSyscallStart, Span: obs.SpanID(msg.Span),
+			Arg0: uint64(op), Arg1: msg.Label})
+	}
 	if vpe == nil || vpe.exited {
 		k.replyErr(p, msg, kif.ErrVPEGone)
 		return
@@ -357,6 +385,10 @@ func (k *Kernel) handleSyscall(p *sim.Process, msg *dtu.Message) {
 // reply marshals and sends a syscall reply.
 func (k *Kernel) reply(p *sim.Process, msg *dtu.Message, o *kif.OStream) {
 	k.compute(p, CostReply)
+	if tr := k.Plat.Obs; tr.On() {
+		tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LKernel,
+			Kind: obs.EvKSyscallEnd, Span: obs.SpanID(msg.Span), Arg1: msg.Label})
+	}
 	if !msg.CanReply() {
 		k.PE.DTU.Ack(kif.KSyscallEP, msg)
 		return
@@ -369,6 +401,10 @@ func (k *Kernel) reply(p *sim.Process, msg *dtu.Message, o *kif.OStream) {
 			k.Stats.RepliesDropped++
 			if k.Plat.Eng.Tracing() {
 				k.Plat.Eng.Emit("kernel", fmt.Sprintf("reply to vpe %d dropped: %v", msg.Label, err))
+			}
+			if tr := k.Plat.Obs; tr.On() {
+				tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LKernel,
+					Kind: obs.EvReplyDrop, Span: obs.SpanID(msg.Span), Arg0: msg.Label})
 			}
 			return
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -64,13 +65,31 @@ func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dt
 // helper forever. With no deadline armed (every fault-free run) the
 // waits are unbounded and not a single extra event is scheduled.
 // Callers fence stale incarnations with serviceCurrent before calling.
-func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte) (*dtu.Message, kif.Error) {
+func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, span obs.SpanID) (*dtu.Message, kif.Error) {
 	deadline := k.servDeadline
 	k.nextServOp++
 	opID := k.nextServOp
 	pend := &servPending{sig: sim.NewSignal(k.Plat.Eng)}
 	k.pendingServ[opID] = pend
 	k.Stats.ServiceCalls++
+	t0 := k.Plat.Eng.Now()
+	if tr := k.Plat.Obs; tr.On() {
+		tr.Emit(obs.Event{At: t0, PE: int32(k.PE.Node), Layer: obs.LKernel,
+			Kind: obs.EvSvcCallStart, Span: span,
+			Arg0: uint64(svc.sendEP), Arg1: opID})
+	}
+	// Arm the span register once: the DTU consumes it only when a send
+	// succeeds, so credit-denied retries keep the id.
+	k.PE.DTU.StampSpan(span)
+	defer func() {
+		if tr := k.Plat.Obs; tr.On() {
+			now := k.Plat.Eng.Now()
+			tr.Emit(obs.Event{At: now, PE: int32(k.PE.Node), Layer: obs.LKernel,
+				Kind: obs.EvSvcCallEnd, Span: span,
+				Arg0: uint64(svc.sendEP), Arg1: opID})
+			tr.Hist(obs.HSvcCall).Observe(uint64(now - t0))
+		}
+	}()
 	for {
 		err := k.PE.DTU.Send(p, svc.sendEP, payload, kif.KServReplyEP, opID)
 		if err == nil {
@@ -145,7 +164,7 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServOpen)).Str(arg)
-		resp, cerr := k.callService(hp, svc, req.Bytes())
+		resp, cerr := k.callService(hp, svc, req.Bytes(), obs.SpanID(msg.Span))
 		if cerr != kif.OK {
 			k.replyErr(hp, msg, cerr)
 			return
@@ -241,7 +260,7 @@ func (k *Kernel) sysExchangeSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg 
 			req.U64(0)
 		}
 		req.U64(capsCount).Blob(args)
-		resp, cerr := k.callService(hp, sess.Service, req.Bytes())
+		resp, cerr := k.callService(hp, sess.Service, req.Bytes(), obs.SpanID(msg.Span))
 		if cerr != kif.OK {
 			k.replyErr(hp, msg, cerr)
 			return

@@ -185,7 +185,8 @@ func (k *Kernel) closeSession(sess *SessObj) {
 		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServCloseSess)).U64(sess.Ident)
-		resp, cerr := k.callService(hp, svc, req.Bytes())
+		// Session teardown has no originating request: no span.
+		resp, cerr := k.callService(hp, svc, req.Bytes(), 0)
 		if cerr == kif.OK {
 			k.PE.DTU.Ack(kif.KServReplyEP, resp)
 		}

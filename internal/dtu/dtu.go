@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -70,7 +71,31 @@ type DTU struct {
 	waiting      bool
 	waitingSince sim.Time
 
+	// obs is the structured tracer (nil-safe; see package obs) and
+	// curSpan the one-slot span register: software arms it with
+	// StampSpan before issuing an operation, the DTU consumes it when
+	// the message or transfer is actually built. The register survives
+	// credit-denied retries because consumption happens only on the
+	// successful attempt.
+	obs     *obs.Tracer
+	curSpan uint64
+
 	Stats Stats
+}
+
+// SetObserver installs the structured tracer (wired by the platform).
+func (d *DTU) SetObserver(tr *obs.Tracer) { d.obs = tr }
+
+// StampSpan arms the span register: the next message or RDMA transfer
+// this DTU builds carries the id in its header. Software calls it at
+// the root of a request (syscall issue, service call).
+func (d *DTU) StampSpan(span obs.SpanID) { d.curSpan = uint64(span) }
+
+// takeSpan consumes the span register.
+func (d *DTU) takeSpan() uint64 {
+	s := d.curSpan
+	d.curSpan = 0
+	return s
 }
 
 // IdleCyclesAt returns the core's accumulated DTU-wait idle time as of
@@ -194,20 +219,33 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 		ReplyEP:    replyEP,
 		ReplyLabel: replyLabel,
 		CreditEP:   ep,
+		Span:       d.takeSpan(),
+		sentAt:     d.eng.Now(),
 	}
 	d.Stats.MsgsSent++
 	if d.eng.Tracing() {
 		d.eng.Emit(d.traceName(), fmt.Sprintf("send ep%d -> node%d/ep%d (%d bytes, label %#x)",
 			ep, s.Target, s.TargetEP, len(data), s.Label))
 	}
+	if tr := d.obs; tr.On() {
+		tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvMsgSend, Span: obs.SpanID(msg.Span),
+			Arg0: uint64(ep), Arg1: uint64(s.Target), Arg2: uint64(len(data))})
+	}
 	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: s.Target, Size: msgWireSize(len(data)),
+		Src: d.node, Dst: s.Target, Size: msgWireSize(len(data)), Span: msg.Span,
 		Payload: &msgPacket{TargetEP: s.TargetEP, Msg: msg},
 	})
 }
 
 // traceName identifies the DTU in trace output.
 func (d *DTU) traceName() string { return fmt.Sprintf("dtu%d", d.node) }
+
+// RDMA direction tags for EvXferStart/End Arg0.
+const (
+	xferRead  = 1
+	xferWrite = 2
+)
 
 // Reply sends data back to the sender of msg, which was fetched from
 // receive endpoint ep. The reply restores one credit at the sender's
@@ -230,10 +268,17 @@ func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
 		Data:      append([]byte(nil), data...),
 		ReplyNode: d.node,
 		ReplyEP:   -1,
+		Span:      msg.Span,
+		sentAt:    d.eng.Now(),
 	}
 	d.Stats.Replies++
+	if tr := d.obs; tr.On() {
+		tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvReplySend, Span: obs.SpanID(reply.Span),
+			Arg0: uint64(ep), Arg1: uint64(msg.ReplyNode), Arg2: uint64(len(data))})
+	}
 	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: msg.ReplyNode, Size: msgWireSize(len(data)),
+		Src: d.node, Dst: msg.ReplyNode, Size: msgWireSize(len(data)), Span: reply.Span,
 		Payload: &replyPacket{TargetEP: msg.ReplyEP, CreditEP: msg.CreditEP, Msg: reply},
 	})
 }
@@ -373,12 +418,25 @@ func (d *DTU) ReadMem(p *sim.Process, ep int, off int, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	span, t0 := d.takeSpan(), d.eng.Now()
+	if tr := d.obs; tr.On() {
+		tr.Emit(obs.Event{At: t0, PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvXferStart, Span: obs.SpanID(span),
+			Arg0: xferRead, Arg1: uint64(len(buf))})
+	}
 	resp, err := d.doOp(p, func(op uint64) {
 		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize,
+			Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize, Span: span,
 			Payload: &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)},
 		})
 	})
+	if tr := d.obs; tr.On() {
+		now := d.eng.Now()
+		tr.Emit(obs.Event{At: now, PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvXferEnd, Span: obs.SpanID(span),
+			Arg0: xferRead, Arg1: uint64(len(buf))})
+		tr.Hist(obs.HXfer).Observe(uint64(now - t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -399,12 +457,25 @@ func (d *DTU) WriteMem(p *sim.Process, ep int, off int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	span, t0 := d.takeSpan(), d.eng.Now()
+	if tr := d.obs; tr.On() {
+		tr.Emit(obs.Event{At: t0, PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvXferStart, Span: obs.SpanID(span),
+			Arg0: xferWrite, Arg1: uint64(len(data))})
+	}
 	resp, err := d.doOp(p, func(op uint64) {
 		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)),
+			Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)), Span: span,
 			Payload: &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)},
 		})
 	})
+	if tr := d.obs; tr.On() {
+		now := d.eng.Now()
+		tr.Emit(obs.Event{At: now, PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvXferEnd, Span: obs.SpanID(span),
+			Arg0: xferWrite, Arg1: uint64(len(data))})
+		tr.Hist(obs.HXfer).Observe(uint64(now - t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -536,6 +607,11 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 		if d.eng.Tracing() {
 			d.eng.Emit(d.traceName(), fmt.Sprintf("poisoned pkt from node%d seq %d", pkt.Src, pkt.Seq))
 		}
+		if tr := d.obs; tr.On() {
+			tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+				Kind: obs.EvPoisoned, Span: obs.SpanID(pkt.Span),
+				Arg0: uint64(pkt.Src), Arg1: pkt.Seq})
+		}
 		if pkt.Seq != 0 {
 			d.sendCtrl(pkt.Src, &nackPacket{Seq: pkt.Seq})
 		}
@@ -636,6 +712,15 @@ func (d *DTU) receive(ep int, msg *Message) {
 		d.eng.Emit(d.traceName(), fmt.Sprintf("recv ep%d slot%d (%d bytes, label %#x)",
 			ep, slot, len(msg.Data), msg.Label))
 	}
+	if tr := d.obs; tr.On() {
+		now := d.eng.Now()
+		tr.Emit(obs.Event{At: now, PE: int32(d.node), Layer: obs.LDTU,
+			Kind: obs.EvMsgRecv, Span: obs.SpanID(msg.Span),
+			Arg0: uint64(ep), Arg1: uint64(len(msg.Data)), Arg2: msg.Label})
+		if now >= msg.sentAt {
+			tr.Hist(obs.HMsgLatency).Observe(uint64(now - msg.sentAt))
+		}
+	}
 	d.MsgAvail.Broadcast()
 }
 
@@ -673,9 +758,15 @@ func (d *DTU) serve(p *sim.Process) {
 				d.privileged = req.SetPrivilege > 0
 			} else if err := d.applyConfig(req.EP, req.Cfg); err != nil {
 				resp.Err = err.Error()
-			} else if d.eng.Tracing() {
-				d.eng.Emit(d.traceName(), fmt.Sprintf("config ep%d <- node%d (%s)",
-					req.EP, req.Src, req.Cfg.Type))
+			} else {
+				if d.eng.Tracing() {
+					d.eng.Emit(d.traceName(), fmt.Sprintf("config ep%d <- node%d (%s)",
+						req.EP, req.Src, req.Cfg.Type))
+				}
+				if tr := d.obs; tr.On() {
+					tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+						Kind: obs.EvConfig, Arg0: uint64(req.EP), Arg1: uint64(req.Src)})
+				}
 			}
 			d.net.Send(p, &noc.Packet{
 				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,

@@ -119,9 +119,15 @@ type Message struct {
 	// when the reply arrives.
 	CreditEP int
 
+	// Span is the causal trace id riding in the message header's label
+	// space (zero: none). Replies inherit it, so one request's full
+	// path reconstructs from the event stream.
+	Span uint64
+
 	slot    int
 	replied bool
 	acked   bool
+	sentAt  sim.Time
 }
 
 // CanReply reports whether the sender permitted a direct reply.

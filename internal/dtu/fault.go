@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -156,6 +157,11 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 				d.eng.Emit(d.traceName(), fmt.Sprintf("xmit seq %d -> node%d aborted after %d attempts",
 					pkt.Seq, pkt.Dst, attempt+1))
 			}
+			if tr := d.obs; tr.On() {
+				tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+					Kind: obs.EvXmitAbort, Span: obs.SpanID(pkt.Span),
+					Arg0: pkt.Seq, Arg1: uint64(pkt.Dst), Arg2: uint64(attempt + 1)})
+			}
 			return fmt.Errorf("%w: transfer to node %d unacknowledged after %d attempts",
 				ErrTimeout, pkt.Dst, attempt+1)
 		}
@@ -167,6 +173,11 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 		if d.eng.Tracing() {
 			d.eng.Emit(d.traceName(), fmt.Sprintf("xmit seq %d -> node%d retry %d",
 				pkt.Seq, pkt.Dst, attempt+1))
+		}
+		if tr := d.obs; tr.On() {
+			tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+				Kind: obs.EvRetransmit, Span: obs.SpanID(pkt.Span),
+				Arg0: pkt.Seq, Arg1: uint64(pkt.Dst), Arg2: uint64(attempt + 1)})
 		}
 	}
 	delete(d.sends, pkt.Seq)
@@ -199,6 +210,10 @@ func (d *DTU) doOp(p *sim.Process, send func(op uint64)) (*pendingOp, error) {
 		d.Stats.OpTimeouts++
 		if d.eng.Tracing() {
 			d.eng.Emit(d.traceName(), fmt.Sprintf("op %d timed out (attempt %d)", op, attempt+1))
+		}
+		if tr := d.obs; tr.On() {
+			tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
+				Kind: obs.EvOpTimeout, Arg0: op, Arg1: uint64(attempt + 1)})
 		}
 		if attempt >= d.faults.MaxRetries {
 			d.Stats.SendsAborted++

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 )
@@ -100,10 +101,29 @@ func (e *Env) allocRBuf(size int) (int, error) {
 // Syscall sends a request to the kernel over the DTU and waits for the
 // reply: the paper's replacement for the mode switch. The returned
 // stream is positioned after the error code.
+//
+// This is the root of a causal span: the id is allocated here, stamped
+// into the DTU's span register, and rides the message header through
+// the NoC, the kernel, and any service it calls, back to the reply.
 func (e *Env) Syscall(req *kif.OStream) (*kif.IStream, error) {
 	e.Ctx.Compute(CostSysMarshal)
 	d := e.DTU()
+	var span obs.SpanID
+	var t0 sim.Time
+	tr := e.Ctx.PE.Obs()
+	if tr.On() {
+		span, t0 = tr.NewSpan(), e.Ctx.Now()
+		tr.Emit(obs.Event{At: t0, PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+			Kind: obs.EvSyscallStart, Span: span,
+			Arg0: uint64(kif.NewIStream(req.Bytes()).Op())})
+		d.StampSpan(span)
+	}
 	if err := d.Send(e.P(), kif.SyscallEP, req.Bytes(), kif.SysReplyEP, 0); err != nil {
+		if tr.On() {
+			tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+				Kind: obs.EvSyscallEnd, Span: span,
+				Arg0: uint64(kif.NewIStream(req.Bytes()).Op()), Arg1: 1})
+		}
 		if errors.Is(err, dtu.ErrTimeout) {
 			// The DTU gave up after its retry budget (fault injection);
 			// surface the protocol-level error so callers can handle it
@@ -114,6 +134,13 @@ func (e *Env) Syscall(req *kif.OStream) (*kif.IStream, error) {
 	}
 	msg, _ := d.WaitMsg(e.P(), kif.SysReplyEP)
 	e.Ctx.Compute(CostSysUnmarshal)
+	if tr.On() {
+		now := e.Ctx.Now()
+		tr.Emit(obs.Event{At: now, PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+			Kind: obs.EvSyscallEnd, Span: span,
+			Arg0: uint64(kif.NewIStream(req.Bytes()).Op())})
+		tr.Hist(obs.HSyscallRTT).Observe(uint64(now - t0))
+	}
 	is := kif.NewIStream(msg.Data)
 	kerr := is.ErrCode()
 	d.Ack(kif.SysReplyEP, msg)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -202,18 +203,25 @@ func (sg *SendGate) SendAsync(data []byte) (uint64, error) {
 // is exactly SendAsync.
 func (sg *SendGate) SendAsyncDeadline(data []byte, deadline sim.Time) (uint64, error) {
 	label := sg.env.allocLabel()
-	return label, sg.sendDeadline(data, kif.CallReplyEP, label, deadline)
+	return label, sg.sendDeadline(data, kif.CallReplyEP, label, deadline, 0)
 }
 
 func (sg *SendGate) send(data []byte, replyEP int, label uint64) error {
-	return sg.sendDeadline(data, replyEP, label, 0)
+	return sg.sendDeadline(data, replyEP, label, 0, 0)
 }
 
-func (sg *SendGate) sendDeadline(data []byte, replyEP int, label uint64, deadline sim.Time) error {
+func (sg *SendGate) sendDeadline(data []byte, replyEP int, label uint64, deadline sim.Time, span obs.SpanID) error {
 	e := sg.env
 	ep, err := e.eps.acquire(&sg.gateBase)
 	if err != nil {
 		return err
+	}
+	// Arm the span register only after acquire: activating the gate may
+	// itself issue syscalls, which root their own spans. The DTU
+	// consumes the register on the successful send, so credit-denied
+	// retries keep the id.
+	if span != 0 {
+		e.DTU().StampSpan(span)
 	}
 	for {
 		err = e.DTU().Send(e.P(), ep, data, replyEP, label)
@@ -269,10 +277,32 @@ func (sg *SendGate) CallDeadline(data []byte, deadline sim.Time) ([]byte, error)
 	e := sg.env
 	e.Ctx.Compute(CostCallMarshal)
 	label := e.allocLabel()
-	if err := sg.sendDeadline(data, kif.CallReplyEP, label, deadline); err != nil {
+	// A client service call roots its own causal span, like a syscall.
+	var span obs.SpanID
+	tr := e.Ctx.PE.Obs()
+	if tr.On() {
+		span = tr.NewSpan()
+		tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+			Kind: obs.EvSvcCallStart, Span: span,
+			Arg0: label, Arg1: uint64(len(data))})
+	}
+	err := sg.sendDeadline(data, kif.CallReplyEP, label, deadline, span)
+	if err != nil {
+		if tr.On() {
+			tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+				Kind: obs.EvSvcCallEnd, Span: span, Arg0: label, Arg1: 1})
+		}
 		return nil, err
 	}
 	msg := e.recvReplyDeadline(label, deadline)
+	if tr.On() {
+		fail := uint64(0)
+		if msg == nil {
+			fail = 1
+		}
+		tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
+			Kind: obs.EvSvcCallEnd, Span: span, Arg0: label, Arg1: fail})
+	}
 	if msg == nil {
 		e.DiscardReply(label)
 		return nil, fmt.Errorf("m3: call reply: %w", kif.ErrTimeout)

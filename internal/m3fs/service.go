@@ -8,6 +8,7 @@ import (
 	"repro/internal/dtu"
 	"repro/internal/kif"
 	"repro/internal/m3"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 )
@@ -279,7 +280,13 @@ func (s *Service) Serve() {
 // capability exchanges.
 func (s *Service) handleCtrl(msg *dtu.Message) {
 	is := kif.NewIStream(msg.Data)
-	switch kif.ServiceOp(is.U64()) {
+	op := kif.ServiceOp(is.U64())
+	if tr := s.env.Ctx.PE.Obs(); tr.On() {
+		tr.Emit(obs.Event{At: s.env.Ctx.Now(), PE: int32(s.env.Ctx.PE.Node),
+			Layer: obs.LService, Kind: obs.EvSvcReq,
+			Span: obs.SpanID(msg.Span), Arg0: uint64(op)})
+	}
+	switch op {
 	case kif.ServOpen:
 		_ = is.Str() // session argument, unused by m3fs
 		s.compute(costOpenSess)
@@ -418,6 +425,11 @@ func (s *Service) handleRequest(msg *dtu.Message) {
 	sess := s.sessions[msg.Label]
 	is := kif.NewIStream(msg.Data)
 	op, key, seq := is.U64(), is.U64(), is.U64()
+	if tr := s.env.Ctx.PE.Obs(); tr.On() {
+		tr.Emit(obs.Event{At: s.env.Ctx.Now(), PE: int32(s.env.Ctx.PE.Node),
+			Layer: obs.LService, Kind: obs.EvSvcReq,
+			Span: obs.SpanID(msg.Span), Arg0: op, Arg1: msg.Label})
+	}
 	tok := token{key, seq}
 	if sess == nil {
 		s.replyErr(s.reqs, msg, kif.ErrNoSuchSession)

@@ -13,6 +13,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type Packet struct {
 	Payload  any
 	Seq      uint64
 	Corrupt  bool
+
+	// Span is the causal trace id of the request this packet belongs
+	// to (zero: none). The DTU stamps it from the message header so
+	// the observability layer can reconstruct a request's NoC flights.
+	Span uint64
 }
 
 // LinkFault is a fault-injection verdict for one packet at one hop.
@@ -97,6 +103,7 @@ type Network struct {
 	handlers []Handler
 	links    map[linkKey]*sim.Resource
 	fault    FaultHook
+	obs      *obs.Tracer
 
 	// PacketsSent counts injected packets; BytesSent the wire bytes.
 	PacketsSent uint64
@@ -130,6 +137,10 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // Config returns the network parameters.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetObserver installs the structured tracer (wired by the platform at
+// build time; nil keeps observability off).
+func (n *Network) SetObserver(tr *obs.Tracer) { n.obs = tr }
 
 // Nodes returns the number of mesh nodes.
 func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
@@ -241,6 +252,11 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 	n.PacketsSent++
 	n.BytesSent += uint64(pkt.Size)
 	ser := n.SerializationTime(pkt.Size)
+	if tr := n.obs; tr.On() && pkt.Span != 0 {
+		tr.Emit(obs.Event{At: n.eng.Now(), PE: int32(pkt.Src), Layer: obs.LNoC,
+			Kind: obs.EvPktInject, Span: obs.SpanID(pkt.Span),
+			Arg0: uint64(pkt.Dst), Arg1: uint64(pkt.Size)})
+	}
 	dropped := false
 	if pkt.Src != pkt.Dst {
 		prev := pkt.Src
@@ -252,6 +268,9 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 				// the head moves on after the router latency.
 				lk := link
 				n.eng.Schedule(n.cfg.HopLatency+ser, func() { lk.Release(1) })
+			}
+			if tr := n.obs; tr.On() {
+				tr.Hist(obs.HLinkOcc).Observe(uint64(n.cfg.HopLatency + ser))
 			}
 			p.Sleep(n.cfg.HopLatency)
 			if !dropped {
@@ -270,6 +289,11 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 	h := n.handlers[pkt.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("noc: packet for unattached node %d", pkt.Dst))
+	}
+	if tr := n.obs; tr.On() && pkt.Span != 0 {
+		tr.Emit(obs.Event{At: n.eng.Now(), PE: int32(pkt.Dst), Layer: obs.LNoC,
+			Kind: obs.EvPktDeliver, Span: obs.SpanID(pkt.Span),
+			Arg0: uint64(pkt.Src), Arg1: uint64(pkt.Size)})
 	}
 	h.Deliver(pkt)
 }
@@ -320,6 +344,12 @@ func (n *Network) applyFault(from, to NodeID, pkt *Packet) bool {
 		if n.eng.Tracing() {
 			n.eng.Emit("noc", fmt.Sprintf("drop pkt %d->%d seq %d at link %d->%d", pkt.Src, pkt.Dst, pkt.Seq, from, to))
 		}
+		if tr := n.obs; tr.On() {
+			tr.Emit(obs.Event{At: n.eng.Now(), PE: int32(pkt.Src), Layer: obs.LNoC,
+				Kind: obs.EvPktDrop, Span: obs.SpanID(pkt.Span),
+				Arg0: uint64(pkt.Dst), Arg1: pkt.Seq,
+				Arg2: uint64(from)<<32 | uint64(uint32(to))})
+		}
 		return true
 	case LinkCorrupt:
 		if !pkt.Corrupt {
@@ -327,6 +357,12 @@ func (n *Network) applyFault(from, to NodeID, pkt *Packet) bool {
 			n.PacketsCorrupted++
 			if n.eng.Tracing() {
 				n.eng.Emit("noc", fmt.Sprintf("corrupt pkt %d->%d seq %d at link %d->%d", pkt.Src, pkt.Dst, pkt.Seq, from, to))
+			}
+			if tr := n.obs; tr.On() {
+				tr.Emit(obs.Event{At: n.eng.Now(), PE: int32(pkt.Src), Layer: obs.LNoC,
+					Kind: obs.EvPktCorrupt, Span: obs.SpanID(pkt.Span),
+					Arg0: uint64(pkt.Dst), Arg1: pkt.Seq,
+					Arg2: uint64(from)<<32 | uint64(uint32(to))})
 			}
 		}
 	}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d mean=%d max=%d p50=%d",
+			h.Count(), h.Mean(), h.Max(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket 0 is exactly {0}; bucket i covers [2^(i-1), 2^i).
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8} {
+		h.Observe(v)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 25 || h.Max() != 8 || h.Mean() != 3 {
+		t.Fatalf("count=%d sum=%d max=%d mean=%d", h.Count(), h.Sum(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 10 values: one in bucket 1 (1), eight in bucket 4 (8..15), one in
+	// bucket 7 (64). Quantiles return bucket upper bounds.
+	h.Observe(1)
+	for i := 0; i < 8; i++ {
+		h.Observe(8)
+	}
+	h.Observe(64)
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.10, 1},   // rank 1 -> bucket 1, upper 1
+		{0.11, 15},  // rank 2 (ceil) -> bucket 4, upper 15
+		{0.50, 15},  // rank 5
+		{0.90, 15},  // rank 9
+		{0.91, 127}, // rank 10 -> bucket 7, upper 127
+		{1.00, 127},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramMaxValue(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0))
+	if got := h.Quantile(1.0); got != ^uint64(0) {
+		t.Fatalf("Quantile(1.0) of MaxUint64 = %d", got)
+	}
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	tr := New(Options{})
+	for _, v := range []uint64{3, 90, 700} {
+		tr.Hist(HSyscallRTT).Observe(v)
+	}
+	tr.Hist(HMsgLatency).Observe(12)
+	tr.Hist(HXfer).Observe(513)
+	tr.Hist(HLinkOcc).Observe(0)
+	// HSvcCall left empty on purpose: empty rows must render all-zero.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr.Histograms()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hist.csv", buf.Bytes())
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Span reconstruction and Chrome-trace ("Perfetto") export. The event
+// stream pairs into intervals mechanically: same-PE kinds
+// (syscall, ksyscall, svccall, xfer) pair start→end on a per-(PE,
+// span) stack; cross-PE flights pair a send (EvMsgSend/EvReplySend →
+// EvMsgRecv, EvPktInject → EvPktDeliver) with the next matching
+// arrival of the same span, FIFO. Everything else is an instant.
+
+// Interval is one reconstructed span segment.
+type Interval struct {
+	Span  SpanID
+	Kind  Kind // the interval's opening kind
+	Layer Layer
+	PE    int32 // PE of the opening event
+	Start sim.Time
+	End   sim.Time
+	Arg0  uint64
+	Arg1  uint64
+}
+
+// endOf maps closing kinds to their opening kind for same-PE pairs.
+var endOf = map[Kind]Kind{
+	EvSyscallEnd:  EvSyscallStart,
+	EvKSyscallEnd: EvKSyscallStart,
+	EvSvcCallEnd:  EvSvcCallStart,
+	EvXferEnd:     EvXferStart,
+}
+
+// isFlightSend reports whether k opens a cross-PE flight.
+func isFlightSend(k Kind) bool {
+	return k == EvMsgSend || k == EvReplySend || k == EvPktInject
+}
+
+// flightEnd maps a flight arrival to the queue it closes: message
+// flights (either send kind) and packet flights.
+func flightClass(k Kind) int {
+	switch k {
+	case EvMsgSend, EvReplySend, EvMsgRecv:
+		return 0
+	case EvPktInject, EvPktDeliver:
+		return 1
+	}
+	return -1
+}
+
+type stackKey struct {
+	pe   int32
+	span SpanID
+	kind Kind
+}
+
+type flightKey struct {
+	span  SpanID
+	class int
+}
+
+// Intervals pairs the event stream (in emission order) into intervals
+// and leftover instants. Events that open an interval but never close
+// (and vice versa) are returned as instants, so nothing is silently
+// dropped. The result order is deterministic: intervals in closing
+// order, instants in emission order.
+func Intervals(events []Event) (intervals []Interval, instants []Event) {
+	stacks := make(map[stackKey][]Event)
+	flights := make(map[flightKey][]Event)
+	for _, ev := range events {
+		switch {
+		case endOf[ev.Kind] != EvNone && ev.Kind != EvNone:
+			key := stackKey{ev.PE, ev.Span, endOf[ev.Kind]}
+			st := stacks[key]
+			if len(st) == 0 {
+				instants = append(instants, ev)
+				continue
+			}
+			open := st[len(st)-1]
+			stacks[key] = st[:len(st)-1]
+			intervals = append(intervals, Interval{
+				Span: open.Span, Kind: open.Kind, Layer: open.Layer, PE: open.PE,
+				Start: open.At, End: ev.At, Arg0: open.Arg0, Arg1: open.Arg1,
+			})
+		case ev.Kind == EvSyscallStart || ev.Kind == EvKSyscallStart ||
+			ev.Kind == EvSvcCallStart || ev.Kind == EvXferStart:
+			key := stackKey{ev.PE, ev.Span, ev.Kind}
+			stacks[key] = append(stacks[key], ev)
+		case isFlightSend(ev.Kind) && ev.Span != 0:
+			key := flightKey{ev.Span, flightClass(ev.Kind)}
+			flights[key] = append(flights[key], ev)
+		case (ev.Kind == EvMsgRecv || ev.Kind == EvPktDeliver) && ev.Span != 0:
+			key := flightKey{ev.Span, flightClass(ev.Kind)}
+			q := flights[key]
+			if len(q) == 0 {
+				instants = append(instants, ev)
+				continue
+			}
+			open := q[0]
+			flights[key] = q[1:]
+			intervals = append(intervals, Interval{
+				Span: open.Span, Kind: open.Kind, Layer: open.Layer, PE: open.PE,
+				Start: open.At, End: ev.At, Arg0: open.Arg0, Arg1: open.Arg1,
+			})
+		default:
+			instants = append(instants, ev)
+		}
+	}
+	// Unclosed opens become instants too. The pairing maps are walked
+	// via the original event order, not map order, for determinism.
+	for _, ev := range events {
+		switch {
+		case ev.Kind == EvSyscallStart || ev.Kind == EvKSyscallStart ||
+			ev.Kind == EvSvcCallStart || ev.Kind == EvXferStart:
+			if contains(stacks[stackKey{ev.PE, ev.Span, ev.Kind}], ev) {
+				instants = append(instants, ev)
+			}
+		case isFlightSend(ev.Kind) && ev.Span != 0:
+			if contains(flights[flightKey{ev.Span, flightClass(ev.Kind)}], ev) {
+				instants = append(instants, ev)
+			}
+		}
+	}
+	return intervals, instants
+}
+
+func contains(evs []Event, ev Event) bool {
+	for _, e := range evs {
+		if e == ev {
+			return true
+		}
+	}
+	return false
+}
+
+// pfEvent is one Chrome-trace record. Field order is fixed by the
+// struct, map args are marshalled in sorted key order: the JSON bytes
+// are deterministic.
+type pfEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	Ts    uint64            `json:"ts"`
+	Dur   *uint64           `json:"dur,omitempty"`
+	Pid   int32             `json:"pid"`
+	Tid   uint8             `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]uint64 `json:"args,omitempty"`
+}
+
+type pfTrace struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+// WritePerfetto exports the event stream as Chrome-trace JSON
+// (chrome://tracing, Perfetto's legacy JSON importer): intervals
+// become complete ("X") slices, leftovers instant ("i") marks.
+// pid = PE, tid = layer, ts/dur = simulated cycles (the nominal unit
+// is microseconds; the values are cycles — zoom, don't convert).
+func WritePerfetto(w io.Writer, events []Event) error {
+	intervals, instants := Intervals(events)
+	out := make([]pfEvent, 0, len(intervals)+len(instants))
+	for _, iv := range intervals {
+		dur := uint64(iv.End - iv.Start)
+		out = append(out, pfEvent{
+			Name: iv.Kind.String(), Cat: iv.Layer.String(), Ph: "X",
+			Ts: uint64(iv.Start), Dur: &dur, Pid: iv.PE, Tid: uint8(iv.Layer),
+			Args: map[string]uint64{"span": uint64(iv.Span), "arg0": iv.Arg0, "arg1": iv.Arg1},
+		})
+	}
+	for _, ev := range instants {
+		out = append(out, pfEvent{
+			Name: ev.Kind.String(), Cat: ev.Layer.String(), Ph: "i",
+			Ts: uint64(ev.At), Pid: ev.PE, Tid: uint8(ev.Layer), Scope: "t",
+			Args: map[string]uint64{"span": uint64(ev.Span), "arg0": ev.Arg0, "arg1": ev.Arg1},
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pfTrace{TraceEvents: out, DisplayTimeUnit: "ns"})
+}

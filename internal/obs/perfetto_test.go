@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden (run with -update after verifying)\ngot:\n%s", name, got)
+	}
+}
+
+// sampleEvents is one syscall's path through the layers, plus an
+// unpaired open, a span-0 packet, and a fault instant — every pairing
+// rule exercised once.
+func sampleEvents() []Event {
+	return []Event{
+		{At: 100, PE: 2, Layer: LApp, Kind: EvSyscallStart, Span: 1, Arg0: 7},
+		{At: 110, PE: 2, Layer: LDTU, Kind: EvMsgSend, Span: 1, Arg0: 0, Arg1: 0, Arg2: 32},
+		{At: 112, PE: 2, Layer: LNoC, Kind: EvPktInject, Span: 1, Arg0: 0, Arg1: 48},
+		{At: 130, PE: 0, Layer: LNoC, Kind: EvPktDeliver, Span: 1, Arg0: 2, Arg1: 48},
+		{At: 132, PE: 0, Layer: LDTU, Kind: EvMsgRecv, Span: 1, Arg0: 0, Arg1: 32},
+		{At: 140, PE: 0, Layer: LKernel, Kind: EvKSyscallStart, Span: 1, Arg0: 7, Arg1: 3},
+		{At: 180, PE: 0, Layer: LKernel, Kind: EvKSyscallEnd, Span: 1, Arg1: 3},
+		{At: 185, PE: 0, Layer: LDTU, Kind: EvReplySend, Span: 1, Arg0: 0, Arg1: 2, Arg2: 16},
+		{At: 210, PE: 2, Layer: LDTU, Kind: EvMsgRecv, Span: 1, Arg0: 1, Arg1: 16},
+		{At: 215, PE: 2, Layer: LApp, Kind: EvSyscallEnd, Span: 1},
+		// Span-0 packet: control traffic, never a flight interval.
+		{At: 220, PE: 1, Layer: LNoC, Kind: EvPktInject, Span: 0, Arg0: 3},
+		// A start that never ends must surface as an instant.
+		{At: 230, PE: 2, Layer: LApp, Kind: EvXferStart, Span: 2, Arg0: 1, Arg1: 4096},
+		// A fault verdict is always an instant.
+		{At: 240, PE: 1, Layer: LNoC, Kind: EvPktDrop, Span: 3, Arg0: 0, Arg1: 9},
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	intervals, instants := Intervals(sampleEvents())
+	// Closing order: ksyscall (140-180), msg flight out (110-132),
+	// pkt flight (112-130)... actually flights close at their arrival
+	// events: pkt at 130, msg at 132, ksyscall at 180, reply flight at
+	// 210, syscall at 215.
+	if len(intervals) != 5 {
+		t.Fatalf("got %d intervals, want 5: %+v", len(intervals), intervals)
+	}
+	wantKinds := []Kind{EvPktInject, EvMsgSend, EvKSyscallStart, EvReplySend, EvSyscallStart}
+	for i, iv := range intervals {
+		if iv.Kind != wantKinds[i] {
+			t.Fatalf("interval %d kind = %s, want %s", i, iv.Kind, wantKinds[i])
+		}
+	}
+	// The syscall interval nests everything: 100..215 on PE 2.
+	sc := intervals[4]
+	if sc.Start != 100 || sc.End != 215 || sc.PE != 2 || sc.Span != 1 {
+		t.Fatalf("syscall interval = %+v", sc)
+	}
+	// The kernel-side interval nests inside it.
+	ks := intervals[2]
+	if ks.Start < sc.Start || ks.End > sc.End || ks.Span != sc.Span {
+		t.Fatalf("ksyscall interval %+v not nested in syscall %+v", ks, sc)
+	}
+	// Instants: span-0 inject, unclosed xfer, drop.
+	if len(instants) != 3 {
+		t.Fatalf("got %d instants, want 3: %+v", len(instants), instants)
+	}
+	wantInstants := []Kind{EvPktInject, EvPktDrop, EvXferStart}
+	for i, ev := range instants {
+		if ev.Kind != wantInstants[i] {
+			t.Fatalf("instant %d kind = %s, want %s", i, ev.Kind, wantInstants[i])
+		}
+	}
+}
+
+func TestIntervalsEndWithoutStart(t *testing.T) {
+	intervals, instants := Intervals([]Event{
+		{At: 10, PE: 0, Layer: LKernel, Kind: EvKSyscallEnd, Span: 5},
+	})
+	if len(intervals) != 0 || len(instants) != 1 {
+		t.Fatalf("unmatched end: %d intervals, %d instants", len(intervals), len(instants))
+	}
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid Chrome-trace JSON: a traceEvents array
+	// whose records all carry the required fields.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("got %d traceEvents, want 8 (5 intervals + 3 instants)", len(parsed.TraceEvents))
+	}
+	for i, ev := range parsed.TraceEvents {
+		for _, f := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[f]; !ok {
+				t.Fatalf("traceEvents[%d] missing %q: %v", i, f, ev)
+			}
+		}
+		if ph := ev["ph"]; ph != "X" && ph != "i" {
+			t.Fatalf("traceEvents[%d] ph = %v", i, ph)
+		}
+		if ev["ph"] == "X" {
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("traceEvents[%d] complete event missing dur", i)
+			}
+		}
+	}
+	checkGolden(t, "perfetto.json", buf.Bytes())
+}
+
+func TestWritePerfettoDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two exports of the same stream differ")
+	}
+}

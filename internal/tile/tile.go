@@ -9,6 +9,7 @@ import (
 	"repro/internal/dtu"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -85,7 +86,15 @@ func (pe *PE) Crash() {
 	if pe.plat.Eng.Tracing() {
 		pe.plat.Eng.Emit(fmt.Sprintf("pe%d", pe.ID), "core crashed")
 	}
+	if tr := pe.plat.Obs; tr.On() {
+		tr.Emit(obs.Event{At: pe.plat.Eng.Now(), PE: int32(pe.Node), Layer: obs.LApp,
+			Kind: obs.EvCrash})
+	}
 }
+
+// Obs returns the platform's structured tracer (nil-safe; software on
+// the PE reads it to emit app- and service-layer events).
+func (pe *PE) Obs() *obs.Tracer { return pe.plat.Obs }
 
 // Crashed reports whether the core was crashed by fault injection.
 func (pe *PE) Crashed() bool { return pe.crashed }
@@ -117,6 +126,9 @@ type Config struct {
 	// NoC overrides mesh parameters; Width/Height are derived from the
 	// PE count when zero.
 	NoC noc.Config
+	// Obs, if set, is the structured tracer wired into the NoC and every
+	// DTU (nil keeps structured observability off — not a single event).
+	Obs *obs.Tracer
 }
 
 // Platform is the assembled hardware: PEs plus one memory tile on a
@@ -128,6 +140,8 @@ type Platform struct {
 	DRAM *mem.DRAM
 	// DRAMNode is the memory tile's NoC node.
 	DRAMNode noc.NodeID
+	// Obs is the structured tracer (nil-safe; see package obs).
+	Obs *obs.Tracer
 }
 
 // Homogeneous returns a Config with n general-purpose PEs.
@@ -167,7 +181,9 @@ func NewPlatform(eng *sim.Engine, cfg Config) *Platform {
 		Eng:  eng,
 		Net:  noc.New(eng, nocCfg),
 		DRAM: mem.NewDRAM(eng, cfg.DRAM),
+		Obs:  cfg.Obs,
 	}
+	p.Net.SetObserver(cfg.Obs)
 	for i, ct := range cfg.PEs {
 		node := noc.NodeID(i)
 		pe := &PE{
@@ -178,6 +194,7 @@ func NewPlatform(eng *sim.Engine, cfg Config) *Platform {
 			plat: p,
 		}
 		pe.DTU = dtu.New(eng, p.Net, node, pe.SPM, cfg.EndpointsPerDTU)
+		pe.DTU.SetObserver(cfg.Obs)
 		thisPE := pe
 		pe.DTU.SetCoreStatus(func() bool { return thisPE.crashed })
 		p.PEs = append(p.PEs, pe)
