@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
 
-.PHONY: ci build test vet bench chaos fuzz
+.PHONY: ci build test vet bench bench-smoke chaos fuzz
 
 ci:
 	./ci.sh
@@ -17,6 +17,19 @@ vet:
 
 bench:
 	go test -bench=. -benchmem
+
+# The bench regression gate: rerun the fast experiment subset, keep the
+# JSON artifact for inspection, and fail if any gated metric regressed
+# past its tolerance against the committed baseline (BENCH_0.json,
+# refresh with `make bench-baseline` when a change legitimately moves
+# the numbers — see docs/EXPERIMENTS.md).
+bench-smoke:
+	mkdir -p artifacts
+	go run ./cmd/m3bench -e smoke -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
+	go run ./cmd/m3bench -diff BENCH_0.json artifacts/bench-smoke.json
+
+bench-baseline:
+	go run ./cmd/m3bench -e smoke -json BENCH_0.json
 
 # The chaos tier: determinism under fault injection plus the workload
 # matrix that proves isolation survives packet loss, PE crashes, and —

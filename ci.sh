@@ -11,6 +11,10 @@
 #              isolation-survives-failure matrix, and service crash
 #              recovery (docs/FAULTS.md, docs/RECOVERY.md)
 #   fuzz       a short smoke over the fault-plan and journal decoders
+#   bench      the bench regression gate: the smoke experiment subset
+#              diffed against the committed BENCH_0.json baseline; the
+#              JSON artifact is kept under artifacts/ for inspection
+#              (docs/EXPERIMENTS.md)
 set -eux
 
 go build ./...
@@ -19,3 +23,4 @@ go run ./cmd/m3vet ./...
 go test -race ./...
 make chaos
 make fuzz
+make bench-smoke

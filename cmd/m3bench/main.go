@@ -1,6 +1,8 @@
 // Command m3bench regenerates the paper's evaluation: every table and
-// figure from §5. Run it with -e all (default) or a comma-separated
-// subset of fig3, sec52, fig4, fig5, fig6, fig7.
+// figure from §5, plus this repository's own experiments. Run it with
+// -e all (default), -e smoke (the fast CI subset), or a comma-separated
+// experiment list; -json writes the machine-readable result file and
+// -diff compares two such files under the regression tolerances.
 package main
 
 import (
@@ -9,49 +11,156 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"repro/internal/bench"
 )
 
+// experiment is one entry of the registry: the single source of truth
+// for the -e help text, the dispatch order, and the smoke subset.
+type experiment struct {
+	name string
+	desc string
+	// smoke marks the experiment as part of the fast CI subset
+	// (`-e smoke`, wired into make bench-smoke).
+	smoke bool
+	// run executes the experiment, prints its human-readable report,
+	// and returns the metric set for the JSON file.
+	run func() (bench.BenchExperiment, error)
+}
+
+// experiments is the registry. Order is execution and JSON order.
+var experiments = []experiment{
+	{"fig3", "syscall + file-op microbenchmarks vs Linux", true, runFig3},
+	{"sec52", "§5.2 OS-primitive cost table (Xtensa vs ARM)", false, runSec52},
+	{"fig4", "extent-size sweep of read/write throughput", false, runFig4},
+	{"fig5", "application benchmarks vs Linux", false, runFig5},
+	{"fig6", "parallel instance scaling", false, runFig6},
+	{"fig7", "FFT accelerator offload", false, runFig7},
+	{"util", "§3.4 per-PE utilization trade-off", true, runUtil},
+	{"efault", "completion time under packet loss", false, runEFault},
+	{"erecover", "m3fs crash/restart availability sweep", false, runERecover},
+	{"elat", "latency percentile tables", true, runELat},
+	{"witness", "determinism witness: run stats + stream hashes", true, runWitness},
+}
+
+// expHelp renders the -e flag help from the registry.
+func expHelp() string {
+	var names []string
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return "experiments to run: all, smoke, or comma-separated of " + strings.Join(names, ",")
+}
+
 func main() {
-	exps := flag.String("e", "all", "experiments to run: all or comma-separated of fig3,sec52,fig4,fig5,fig6,fig7,util,efault,erecover,elat")
+	exps := flag.String("e", "all", expHelp())
 	csv := flag.String("csv", "", "directory to additionally write CSV tables into")
+	jsonOut := flag.String("json", "", "file to write the schema-versioned bench JSON into")
+	diff := flag.Bool("diff", false, "compare two bench JSON files: m3bench -diff old.json new.json; exits 1 on regression")
 	flag.Parse()
 	csvDir = *csv
 
-	want := map[string]bool{}
-	if *exps == "all" {
-		for _, e := range []string{"fig3", "sec52", "fig4", "fig5", "fig6", "fig7", "util", "efault", "erecover", "elat"} {
-			want[e] = true
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "m3bench: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
 		}
-	} else {
-		for _, e := range strings.Split(*exps, ",") {
-			want[strings.TrimSpace(e)] = true
+		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	switch *exps {
+	case "all":
+		for _, e := range experiments {
+			want[e.name] = true
+		}
+	case "smoke":
+		for _, e := range experiments {
+			if e.smoke {
+				want[e.name] = true
+			}
+		}
+	default:
+		for _, name := range strings.Split(*exps, ",") {
+			name = strings.TrimSpace(name)
+			if !knownExperiment(name) {
+				fmt.Fprintf(os.Stderr, "m3bench: unknown experiment %q (%s)\n", name, expHelp())
+				os.Exit(2)
+			}
+			want[name] = true
 		}
 	}
 
-	runners := []struct {
-		name string
-		run  func() error
-	}{
-		{"fig3", runFig3},
-		{"sec52", runSec52},
-		{"fig4", runFig4},
-		{"fig5", runFig5},
-		{"fig6", runFig6},
-		{"fig7", runFig7},
-		{"util", runUtil},
-		{"efault", runEFault},
-		{"erecover", runERecover},
-		{"elat", runELat},
-	}
-	for _, r := range runners {
-		if !want[r.name] {
+	out := &bench.BenchFile{Schema: bench.BenchSchema}
+	for _, e := range experiments {
+		if !want[e.name] {
 			continue
 		}
 		start := time.Now()
-		if err := r.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "m3bench: %s failed: %v\n", r.name, err)
+		exp, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: %s failed: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s took %.1fs wall clock]\n\n", r.name, time.Since(start).Seconds())
+		out.Experiments = append(out.Experiments, exp)
+		fmt.Printf("  [%s took %.1fs wall clock]\n\n", e.name, time.Since(start).Seconds())
 	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := out.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			_ = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func knownExperiment(name string) bool {
+	for _, e := range experiments {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runDiff loads both files and gates on the comparison.
+func runDiff(oldPath, newPath string) error {
+	load := func(path string) (*bench.BenchFile, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return bench.ReadBenchJSON(data)
+	}
+	oldFile, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	d := bench.DiffBench(oldFile, newFile)
+	if err := d.Write(os.Stdout); err != nil {
+		return err
+	}
+	if d.Failed() {
+		return fmt.Errorf("%d metric(s) regressed past tolerance", len(d.Regressions))
+	}
+	return nil
 }

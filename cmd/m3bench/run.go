@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -41,106 +42,150 @@ func writeCSV(dir string, r csvExporter) error {
 	return nil
 }
 
+// printer is implemented by every experiment result.
+type printer interface {
+	Print(w io.Writer)
+}
+
+// runCSVExperiment is the shared runner body: print the human report,
+// write CSVs when asked, and flatten the tables into JSON metrics.
+func runCSVExperiment(name string, r interface {
+	csvExporter
+	printer
+}) (bench.BenchExperiment, error) {
+	r.Print(os.Stdout)
+	if err := writeCSV(csvDir, r); err != nil {
+		return bench.BenchExperiment{}, err
+	}
+	return bench.ExperimentFromTables(name, r.CSV()), nil
+}
+
 // runUtil reports the §3.4 utilization trade-off for every workload.
-func runUtil() error {
+func runUtil() (bench.BenchExperiment, error) {
+	exp := bench.BenchExperiment{Name: "util"}
 	fmt.Println("System utilization on M3 (§3.4: traded for heterogeneity support)")
 	for _, b := range workload.All() {
 		r, err := bench.RunUtilization(b)
 		if err != nil {
-			return err
+			return exp, err
 		}
 		fmt.Printf("  %s\n", r)
+		exp.Metrics = append(exp.Metrics, bench.BenchMetric{
+			Name: "util/" + r.Benchmark + "/elapsed_cycles", Value: float64(r.Elapsed), Unit: "cycles",
+		})
+		for _, u := range r.PEs {
+			exp.Metrics = append(exp.Metrics, bench.BenchMetric{
+				// Busy fractions are higher-is-better; gate on idle
+				// fraction instead so the shared lower-is-better rule
+				// applies.
+				Name:  fmt.Sprintf("util/%s/pe%d_%s_idle", r.Benchmark, u.PE, u.Role),
+				Value: 1 - u.Busy,
+				Unit:  "ratio",
+				// Utilization is a coarse trade-off measurement; allow
+				// more drift than cycle counts before failing CI.
+				Tol: 0.25,
+			})
+		}
 	}
-	return nil
+	return exp, nil
 }
 
-func runFig3() error {
+// runWitness records the determinism witness (run statistics and
+// observability stream hashes) as info metrics.
+func runWitness() (bench.BenchExperiment, error) {
+	exp, err := bench.RunWitness()
+	if err != nil {
+		return exp, err
+	}
+	fmt.Println("Determinism witness (info metrics, not diff-gated):")
+	for _, m := range exp.Metrics {
+		if m.Info != "" {
+			fmt.Printf("  %s = %s\n", m.Name, m.Info)
+		} else {
+			fmt.Printf("  %s = %.0f\n", m.Name, m.Value)
+		}
+	}
+	return exp, nil
+}
+
+func runFig3() (bench.BenchExperiment, error) {
 	r, err := bench.Fig3()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("fig3", r)
 }
 
-func runSec52() error {
+func runSec52() (bench.BenchExperiment, error) {
 	r, err := bench.Sec52()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("sec52", r)
 }
 
-func runFig4() error {
+func runFig4() (bench.BenchExperiment, error) {
 	r, err := bench.Fig4()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("fig4", r)
 }
 
-func runFig5() error {
+func runFig5() (bench.BenchExperiment, error) {
 	r, err := bench.Fig5()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("fig5", r)
 }
 
-func runFig6() error {
+func runFig6() (bench.BenchExperiment, error) {
 	r, err := bench.Fig6()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("fig6", r)
+}
+
+func runFig7() (bench.BenchExperiment, error) {
+	r, err := bench.Fig7()
+	if err != nil {
+		return bench.BenchExperiment{}, err
+	}
+	return runCSVExperiment("fig7", r)
 }
 
 // runEFault reports the fault-injection degradation sweep (E-fault in
 // EXPERIMENTS.md): untar completion time under rising per-link packet
 // loss with the DTU retransmission layer armed.
-func runEFault() error {
+func runEFault() (bench.BenchExperiment, error) {
 	r, err := bench.EFault()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("efault", r)
 }
 
 // runERecover reports the service-crash availability sweep (E-recover
 // in EXPERIMENTS.md): untar completion and time-to-recover while the
 // m3fs PE is crashed repeatedly and the supervisor restarts it.
-func runERecover() error {
+func runERecover() (bench.BenchExperiment, error) {
 	r, err := bench.ERecover()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("erecover", r)
 }
 
 // runELat reports the latency-percentile experiment (E-lat in
 // EXPERIMENTS.md): per-operation latency distributions on M3 vs the
-// Linux model, plus M3's hardware-level histograms from the
-// structured tracer.
-func runELat() error {
+// Linux model, plus M3's hardware-level histograms from the structured
+// tracer.
+func runELat() (bench.BenchExperiment, error) {
 	r, err := bench.ELat()
 	if err != nil {
-		return err
+		return bench.BenchExperiment{}, err
 	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
-}
-
-func runFig7() error {
-	r, err := bench.Fig7()
-	if err != nil {
-		return err
-	}
-	r.Print(os.Stdout)
-	return writeCSV(csvDir, r)
+	return runCSVExperiment("elat", r)
 }

@@ -16,8 +16,11 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dtu"
 	"repro/internal/m3"
 	"repro/internal/m3fs"
+	//m3vet:allow crosslayer host-side -stats reporting reads link metric names after the run; no PE-side NoC access
+	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
@@ -32,6 +35,8 @@ func main() {
 	verbose := flag.Bool("v", false, "per-PE DTU statistics")
 	traceN := flag.Int("trace", 0, "print the first N trace events (DTU sends/receives, syscalls)")
 	traceOut := flag.String("trace-out", "", "write the run's structured event stream as Chrome-trace/Perfetto JSON to this file")
+	stats := flag.Bool("stats", false, "collect the metrics registry and print the per-PE/per-link utilization table after the run")
+	sample := flag.Int("sample", 4096, "metrics sampling interval in cycles for -stats (0 = no time series)")
 	flag.Parse()
 
 	b, err := workload.ByName(*name)
@@ -56,12 +61,19 @@ func main() {
 	}
 	var events []obs.Event
 	cfg := tile.Homogeneous(2 + b.PEs + *pes)
-	if *traceOut != "" {
-		cfg.Obs = obs.New(obs.Options{Sink: func(ev obs.Event) { events = append(events, ev) }})
+	if *traceOut != "" || *stats {
+		var sink func(obs.Event)
+		if *traceOut != "" {
+			sink = func(ev obs.Event) { events = append(events, ev) }
+		}
+		cfg.Obs = obs.New(obs.Options{Sink: sink})
 	}
 	n := len(cfg.PEs)
 	plat := tile.NewPlatform(eng, cfg)
 	kern := core.Boot(plat, 0)
+	if *stats && *sample > 0 {
+		cfg.Obs.Metrics().StartSampler(eng, sim.Time(*sample))
+	}
 	if _, err := kern.StartInit("m3fs", tile.CoreXtensa, m3fs.Program(kern, m3fs.Config{}, nil)); err != nil {
 		log.Fatal(err)
 	}
@@ -112,6 +124,9 @@ func main() {
 		}
 		fmt.Printf("  trace: %d structured events -> %s\n", len(events), *traceOut)
 	}
+	if *stats {
+		printStats(plat, cfg.Obs, end)
+	}
 	if *verbose {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "  PE\ttype\tmsgs-sent\tmsgs-recv\treplies\tmem-reads\tmem-writes\tbytes-read\tbytes-written\tbusy")
@@ -138,4 +153,61 @@ func runInstances(b workload.Benchmark, n int) {
 	}
 	fmt.Printf("workload %s, %d instances, single kernel + single m3fs\n", b.Name, n)
 	fmt.Printf("  mean run time per instance: %d cycles\n", avg)
+}
+
+// printStats renders the end-of-run utilization tables: per-PE busy
+// fractions with the DTU's metric counters, and per-link busy cycles
+// from the NoC's registry entries.
+func printStats(plat *tile.Platform, tr *obs.Tracer, end sim.Time) {
+	m := tr.Metrics()
+	fmt.Println("  per-PE utilization:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  PE\ttype\tbusy\tcredit-stalls\tretransmits\tnacks\trx-queued")
+	for _, pe := range plat.PEs {
+		busy := 100.0
+		if end > 0 {
+			busy = 100 * (1 - float64(pe.DTU.IdleCyclesAt(end))/float64(end))
+		}
+		node := int(pe.Node)
+		fmt.Fprintf(w, "  %d\t%s\t%.0f%%\t%d\t%d\t%d\t%d\n",
+			pe.ID, pe.Type,
+			busy,
+			m.Counter(dtu.MCreditStalls, node).Value(),
+			m.Counter(dtu.MRetransmits, node).Value(),
+			m.Counter(dtu.MNacks, node).Value(),
+			m.Series(dtu.MRxQueued, node, nil).Last())
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  per-link utilization (links with traffic):")
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  link\tbusy-cycles\tbusy\tqueued")
+	links := 0
+	for _, e := range m.Entries() {
+		if e.Name != noc.MLinkBusy || e.Value() == 0 {
+			continue
+		}
+		links++
+		from, to := plat.Net.LinkByIndex(e.Idx)
+		busy := 0.0
+		if end > 0 {
+			busy = 100 * float64(e.Value()) / float64(end)
+		}
+		fmt.Fprintf(w, "  %d->%d\t%d\t%.1f%%\t%d\n",
+			from, to, e.Value(), busy,
+			m.Series(noc.MLinkQueued, e.Idx, nil).Last())
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if links == 0 {
+		fmt.Println("    (none: NoC in unlimited mode or no contention metrics)")
+	}
+	fmt.Println("  kernel counters:")
+	for _, e := range m.Entries() {
+		if e.Idx == -1 && e.Kind != obs.KindSeries {
+			fmt.Printf("    %s = %d\n", e.Name, e.Value())
+		}
+	}
 }

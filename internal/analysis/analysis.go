@@ -70,6 +70,7 @@ func All() []*Analyzer {
 		FaultSite,
 		EpochFence,
 		ObsGuard,
+		MetricName,
 	}
 }
 

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricName pins the metrics namespace down at compile time: every
+// registration against the obs registry (Counter, Gauge, Series) must
+// pass a name that resolves to a package-level constant. Dynamic names
+// — string literals at the call site, fmt.Sprintf products, locals —
+// would let the metric set drift with run parameters, breaking the
+// byte-identical snapshot contract (docs/OBSERVABILITY.md) and making
+// bench JSON diffs compare different universes. A constant per metric
+// also gives every name exactly one greppable definition site. The obs
+// package itself is exempt: it implements the registry.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names passed to obs registration must be package-level constants",
+	Run:  runMetricName,
+}
+
+// metricRegistration names the obs.Registry methods whose first
+// argument is a metric name.
+var metricRegistration = map[string]bool{
+	"Counter": true,
+	"Gauge":   true,
+	"Series":  true,
+}
+
+func runMetricName(pass *Pass) {
+	if pass.Pkg.Path == obsPkg {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg ||
+				!metricRegistration[fn.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			if isPkgLevelConst(info, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Args[0].Pos(),
+				"metric name passed to obs %s must be a package-level constant, not a dynamic expression", fn.Name())
+			return true
+		})
+	}
+}
+
+// isPkgLevelConst reports whether expr is an identifier or selector
+// resolving to a constant declared at package scope (in this package or
+// an imported one).
+func isPkgLevelConst(info *types.Info, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return c.Parent() == c.Pkg().Scope()
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import "testing"
+
+// registryOverlay is a minimal obs package exposing the metric
+// registration surface for fixture dependencies.
+var registryOverlay = map[string]string{"obs.go": `package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+type Series struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string, idx int) *Counter              { return nil }
+func (r *Registry) Gauge(name string, idx int) *Gauge                  { return nil }
+func (r *Registry) Series(name string, idx int, src func() int64) *Series { return nil }
+`}
+
+func TestMetricNameFlagsDynamicNames(t *testing.T) {
+	src := `package dtu
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+func f(m *obs.Registry, node int) {
+	m.Counter("dtu_stalls_total", node)               // line 10: literal
+	name := "dtu_retries_total"
+	m.Gauge(name, node)                               // line 12: local
+	m.Series(fmt.Sprintf("dtu_rx_%d", node), node, nil) // line 13: computed
+}
+`
+	got := runOn(t, []*Analyzer{MetricName}, "repro/internal/dtu",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": registryOverlay})
+	checkFindings(t, got, []finding{
+		{10, "metricname"}, {12, "metricname"}, {13, "metricname"}})
+}
+
+func TestMetricNameAllowsPackageConstants(t *testing.T) {
+	src := `package dtu
+
+import "repro/internal/obs"
+
+const MStalls = "dtu_stalls_total"
+
+func f(m *obs.Registry, node int) {
+	m.Counter(MStalls, node)
+	m.Series(MStalls, node, nil)
+}
+`
+	got := runOn(t, []*Analyzer{MetricName}, "repro/internal/dtu",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": registryOverlay})
+	checkFindings(t, got, nil)
+}
+
+func TestMetricNameAllowsImportedConstants(t *testing.T) {
+	// A bench harness registering a metric under another package's
+	// exported name constant is fine: the name still has exactly one
+	// compile-time definition site.
+	dtuOverlay := map[string]string{"dtu.go": `package dtu
+
+const MStalls = "dtu_stalls_total"
+`}
+	src := `package bench
+
+import (
+	"repro/internal/dtu"
+	"repro/internal/obs"
+)
+
+func f(m *obs.Registry) {
+	m.Counter(dtu.MStalls, 0)
+}
+`
+	got := runOn(t, []*Analyzer{MetricName}, "repro/internal/bench",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{
+			"repro/internal/obs": registryOverlay,
+			"repro/internal/dtu": dtuOverlay,
+		})
+	checkFindings(t, got, nil)
+}
+
+func TestMetricNameFlagsFunctionScopedConst(t *testing.T) {
+	// A const declared inside a function body is still a fixed string,
+	// but the rule demands package scope: one definition site per
+	// metric, visible in the package's const block.
+	src := `package dtu
+
+import "repro/internal/obs"
+
+func f(m *obs.Registry) {
+	const name = "dtu_stalls_total"
+	m.Counter(name, 0)
+}
+`
+	got := runOn(t, []*Analyzer{MetricName}, "repro/internal/dtu",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": registryOverlay})
+	checkFindings(t, got, []finding{{7, "metricname"}})
+}
+
+func TestMetricNameIgnoresUnrelatedCounters(t *testing.T) {
+	// Same method names on a foreign type are not registrations.
+	src := `package m3fs
+
+type reg struct{}
+
+func (r *reg) Counter(name string, idx int) int { return 0 }
+func f(r *reg)                                  { r.Counter("x", 0) }
+`
+	got := runOn(t, []*Analyzer{MetricName}, "repro/internal/m3fs",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}

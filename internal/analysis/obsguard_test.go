@@ -123,3 +123,45 @@ func f(q *queue)                  { q.Emit(); q.Observe(1) }
 		map[string]string{"f.go": src}, nil)
 	checkFindings(t, got, nil)
 }
+
+func TestObsGuardFlagsUnguardedMetricMutations(t *testing.T) {
+	// Counter/gauge updates are producers too: with the tracer off not
+	// even a nil-safe Inc may run on the hot path.
+	metricsOverlay := map[string]string{"obs.go": `package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc()         {}
+func (c *Counter) Add(n uint64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64) {}
+
+type Tracer struct{}
+
+func (t *Tracer) On() bool { return t != nil }
+`}
+	src := `package dtu
+
+import "repro/internal/obs"
+
+type DTU struct {
+	obs *obs.Tracer
+	c   *obs.Counter
+	g   *obs.Gauge
+}
+
+func (d *DTU) send() {
+	d.c.Inc()    // line 12: unguarded
+	d.g.Set(3)   // line 13: unguarded
+	if tr := d.obs; tr.On() {
+		d.c.Add(2) // guarded: fine
+	}
+}
+`
+	got := runOn(t, []*Analyzer{ObsGuard}, "repro/internal/dtu",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": metricsOverlay})
+	checkFindings(t, got, []finding{{12, "obsguard"}, {13, "obsguard"}})
+}

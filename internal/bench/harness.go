@@ -63,6 +63,11 @@ type M3Options struct {
 	// every DTU (spans, histograms, flight recorder). Nil keeps
 	// structured observability fully off.
 	Obs *obs.Tracer
+	// SampleEvery, when nonzero (and Obs is set), starts the metrics
+	// sampler: every SampleEvery cycles each registered series records
+	// one sample. Zero keeps the sampler off, scheduling no extra
+	// events — RunStats stay bit-identical to a sampler-free run.
+	SampleEvery sim.Time
 }
 
 // m3System is a booted M3 platform.
@@ -105,6 +110,9 @@ func bootM3NoFS(opt M3Options, appPEs int) *m3System {
 	}
 	plat := tile.NewPlatform(eng, cfg)
 	kern := core.Boot(plat, 0)
+	if opt.Obs.On() && opt.SampleEvery > 0 {
+		opt.Obs.Metrics().StartSampler(eng, opt.SampleEvery)
+	}
 	return &m3System{eng: eng, plat: plat, kern: kern}
 }
 

@@ -284,3 +284,44 @@ func TestFlightDumpOnlyOnFailure(t *testing.T) {
 		t.Fatalf("unarmed recorder attached a dump:\n%s", cr.FlightDump)
 	}
 }
+
+// TestFlightDumpOnDeadlock: the dump must also fire on the other
+// failure mode — a simulation deadlock with no crash at all. A client
+// that parks forever leaves the engine deadlocked; the armed recorder
+// must attach its post-mortem, and the dump must be byte-stable so a
+// wedged run is as reproducible as a completed one.
+func TestFlightDumpOnDeadlock(t *testing.T) {
+	wedge := workload.Benchmark{
+		Name:  "wedge",
+		PEs:   1,
+		Setup: func(workload.OS) error { return nil },
+		Run: func(o workload.OS) error {
+			// Park the app process on a signal nobody broadcasts: the
+			// run can never finish and the engine drains into deadlock.
+			p := o.(*workload.M3OS).Env.Ctx.P
+			sim.NewSignal(p.Engine()).Wait(p)
+			return nil
+		},
+	}
+	run := func() string {
+		opt := M3Options{Obs: obs.New(obs.Options{FlightRecorder: obs.DefaultFlightRecorder})}
+		cr, err := RunM3Chaos(wedge, 1, fault.Plan{Seed: chaosSeed}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cr.Eng.Deadlocked() {
+			t.Fatal("wedge workload did not deadlock the engine")
+		}
+		if cr.FlightDump == "" {
+			t.Fatal("deadlocked run produced no flight dump")
+		}
+		return cr.FlightDump
+	}
+	d1 := run()
+	if !strings.Contains(d1, "flight recorder: last 64 events per PE") {
+		t.Fatalf("unexpected dump:\n%s", d1)
+	}
+	if d2 := run(); d2 != d1 {
+		t.Fatalf("deadlock dump not byte-stable:\n%s\nvs\n%s", d2, d1)
+	}
+}

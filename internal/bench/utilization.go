@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/m3"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
 	"repro/internal/workload"
@@ -16,33 +18,57 @@ import (
 // this in exchange for heterogeneity support and kept cache/TLB state.
 // This experiment quantifies it: per-PE busy fractions during a
 // benchmark, where idle time is the DTU-wait time the hardware
-// observes.
+// observes. The idle counters are sampled on the simulated clock
+// through the metrics registry, so the result carries the utilization
+// trajectory of the run, not just its endpoint delta.
+
+// MPEIdle is the per-PE cumulative DTU idle-cycle series the
+// utilization experiment registers (index = PE id).
+const MPEIdle = "bench_pe_idle_cycles"
+
+// utilSampleEvery is the sampling interval of the utilization
+// experiment, chosen well below the run length of every workload so a
+// run spans many samples.
+const utilSampleEvery sim.Time = 4096
 
 // PEUtilization is one PE's share of busy cycles over the run.
 type PEUtilization struct {
 	PE   int
 	Role string
 	Busy float64 // 1 - idle/elapsed
+	// IdleSeries is the sampled cumulative idle-cycle trajectory
+	// (one value per sampler tick, oldest first).
+	IdleSeries []int64
 }
 
 // UtilizationResult is the outcome of RunUtilization.
 type UtilizationResult struct {
 	Benchmark string
 	Elapsed   sim.Time
-	PEs       []PEUtilization
+	// SampleEvery is the registry sampling interval the idle series
+	// were recorded at.
+	SampleEvery sim.Time
+	PEs         []PEUtilization
 	// Mean is the average busy fraction across all PEs incl. kernel
 	// and service — the "system utilization" the paper trades away.
 	Mean float64
 }
 
 // RunUtilization executes b once on M3 and reports per-PE utilization
-// over the run phase.
+// over the run phase, derived from the registry-sampled idle series.
 func RunUtilization(b workload.Benchmark) (*UtilizationResult, error) {
-	s := bootM3(M3Options{}, b.PEs)
-	res := &UtilizationResult{Benchmark: b.Name}
+	tr := obs.New(obs.Options{})
+	s := bootM3(M3Options{Obs: tr, SampleEvery: utilSampleEvery}, b.PEs)
+	res := &UtilizationResult{Benchmark: b.Name, SampleEvery: utilSampleEvery}
+	for _, pe := range s.plat.PEs {
+		d := pe.DTU
+		tr.Metrics().Series(MPEIdle, pe.ID, func() int64 {
+			return int64(d.IdleCyclesAt(s.eng.Now()))
+		})
+	}
 	var runErr error
 	idleBase := make([]uint64, len(s.plat.PEs))
-	var start sim.Time
+	var start, end sim.Time
 	_, err := s.kern.StartInit("app", tile.CoreXtensa, func(ctx *tile.Ctx) {
 		env := m3.NewEnv(ctx, s.kern)
 		os, err := workload.NewM3OS(env)
@@ -62,22 +88,8 @@ func RunUtilization(b workload.Benchmark) (*UtilizationResult, error) {
 			runErr = err
 			return
 		}
-		res.Elapsed = ctx.Now() - start
-		for i, pe := range s.plat.PEs {
-			idle := pe.DTU.IdleCyclesAt(ctx.Now()) - idleBase[i]
-			busy := 1 - float64(idle)/float64(res.Elapsed)
-			if busy < 0 {
-				busy = 0
-			}
-			role := "app"
-			switch i {
-			case 0:
-				role = "kernel"
-			case 1:
-				role = "m3fs"
-			}
-			res.PEs = append(res.PEs, PEUtilization{PE: pe.ID, Role: role, Busy: busy})
-		}
+		end = ctx.Now()
+		res.Elapsed = end - start
 		env.Exit(0)
 	})
 	if err != nil {
@@ -87,12 +99,59 @@ func RunUtilization(b workload.Benchmark) (*UtilizationResult, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	for i, pe := range s.plat.PEs {
+		series := tr.Metrics().Series(MPEIdle, pe.ID, nil).Samples()
+		idle, window := idleOverRun(series, utilSampleEvery, start, end)
+		if window == 0 {
+			// Run shorter than the sampling window: fall back to the
+			// exact endpoint delta.
+			idle = int64(pe.DTU.IdleCyclesAt(end) - idleBase[i])
+			window = res.Elapsed
+		}
+		busy := 1 - float64(idle)/float64(window)
+		if busy < 0 {
+			busy = 0
+		}
+		role := "app"
+		switch i {
+		case 0:
+			role = "kernel"
+		case 1:
+			role = "m3fs"
+		}
+		res.PEs = append(res.PEs, PEUtilization{
+			PE: pe.ID, Role: role, Busy: busy, IdleSeries: series,
+		})
+	}
+	sort.SliceStable(res.PEs, func(i, j int) bool { return res.PEs[i].PE < res.PEs[j].PE })
 	var sum float64
 	for _, u := range res.PEs {
 		sum += u.Busy
 	}
 	res.Mean = sum / float64(len(res.PEs))
 	return res, nil
+}
+
+// idleOverRun extracts the idle-cycle delta a sampled cumulative series
+// saw across the [start, end] run window. Sample k was taken at cycle
+// (k+1)*every. It returns (0, 0) when fewer than two samples fall
+// inside the window.
+func idleOverRun(samples []int64, every, start, end sim.Time) (idle int64, window sim.Time) {
+	first, last := -1, -1
+	for k := range samples {
+		at := sim.Time(k+1) * every
+		if at < start || at > end {
+			continue
+		}
+		if first < 0 {
+			first = k
+		}
+		last = k
+	}
+	if first < 0 || last == first {
+		return 0, 0
+	}
+	return samples[last] - samples[first], sim.Time(last-first) * every
 }
 
 func (r *UtilizationResult) String() string {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/noc"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tile"
@@ -80,6 +81,24 @@ func (s *Stats) SortedSyscalls() []SyscallCount {
 	return out
 }
 
+// Metric names the kernel registers (m3vet: metricname).
+const (
+	// MSyscalls counts handled syscalls: index -1 is the total, index
+	// op the per-opcode count.
+	MSyscalls = "kernel_syscalls_total"
+	// MSyscallRate samples the cumulative syscall count on the
+	// sim clock; successive sample deltas are the syscall rate.
+	MSyscallRate = "kernel_syscall_rate"
+	// MEPReconfigs counts remote endpoint configurations the kernel
+	// issued (gate activations, std EP installs, invalidations).
+	MEPReconfigs = "kernel_ep_reconfigs_total"
+	// MCapRevocations counts dropped capabilities (explicit revokes,
+	// VPE teardown, death-watchdog reaps).
+	MCapRevocations = "kernel_cap_revocations_total"
+	// MSupervisorRestarts counts supervised service respawns.
+	MSupervisorRestarts = "kernel_supervisor_restarts_total"
+)
+
 // Kernel is the M3 kernel instance, bound to a dedicated kernel PE.
 type Kernel struct {
 	Plat  *tile.Platform
@@ -122,6 +141,12 @@ type Kernel struct {
 	// deterministic and lets VPE teardown unblock every helper that
 	// waits on a gate owned by a dead VPE.
 	actSig *sim.Signal
+
+	// Cached metric handles (nil-safe, inert without a tracer).
+	mSyscalls           *obs.Counter
+	mEPReconfigs        *obs.Counter
+	mCapRevocations     *obs.Counter
+	mSupervisorRestarts *obs.Counter
 
 	Stats Stats
 }
@@ -168,6 +193,15 @@ func Boot(plat *tile.Platform, kernelPE int) *Kernel {
 		SlotSize: kif.KServReplySlotSize, SlotCount: kif.KServReplySlots,
 	}))
 	k.Stats.Syscalls = make(map[kif.SyscallOp]uint64)
+	if tr := plat.Obs; tr.On() {
+		m := tr.Metrics()
+		k.mSyscalls = m.Counter(MSyscalls, -1)
+		k.mEPReconfigs = m.Counter(MEPReconfigs, -1)
+		k.mCapRevocations = m.Counter(MCapRevocations, -1)
+		k.mSupervisorRestarts = m.Counter(MSupervisorRestarts, -1)
+		ctr := k.mSyscalls
+		m.Series(MSyscallRate, -1, func() int64 { return int64(ctr.Value()) })
+	}
 	kpe.Start("kernel", k.run)
 	return k
 }
@@ -176,6 +210,16 @@ func mustConfig(err error) {
 	if err != nil {
 		panic(fmt.Sprintf("core: kernel endpoint config failed: %v", err))
 	}
+}
+
+// configRemote is the kernel's single choke point for remote endpoint
+// configuration: every activation, std-EP install, and invalidation
+// goes through it so the reconfiguration count is complete.
+func (k *Kernel) configRemote(p *sim.Process, node noc.NodeID, ep int, cfg dtu.Endpoint) error {
+	if tr := k.Plat.Obs; tr.On() {
+		k.mEPReconfigs.Inc()
+	}
+	return k.PE.DTU.ConfigureRemote(p, node, ep, cfg)
 }
 
 // StartInit queues a VPE that the kernel starts during boot, before
@@ -285,15 +329,15 @@ func (k *Kernel) run(c *tile.Ctx) {
 // call-reply receive gate.
 func (k *Kernel) installStdEPs(p *sim.Process, vpe *VPE) {
 	node := vpe.PE.Node
-	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.SyscallEP, dtu.Endpoint{
+	mustConfig(k.configRemote(p, node, kif.SyscallEP, dtu.Endpoint{
 		Type: dtu.EpSend, Target: k.PE.Node, TargetEP: kif.KSyscallEP,
 		Label: vpe.ID, Credits: 1, MsgSize: kif.MaxMsgSize,
 	}))
-	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.SysReplyEP, dtu.Endpoint{
+	mustConfig(k.configRemote(p, node, kif.SysReplyEP, dtu.Endpoint{
 		Type: dtu.EpReceive, BufAddr: kif.SysReplyBufAddr,
 		SlotSize: kif.SysReplySlotSize, SlotCount: kif.SysReplySlots,
 	}))
-	mustConfig(k.PE.DTU.ConfigureRemote(p, node, kif.CallReplyEP, dtu.Endpoint{
+	mustConfig(k.configRemote(p, node, kif.CallReplyEP, dtu.Endpoint{
 		Type: dtu.EpReceive, BufAddr: kif.CallReplyBufAddr,
 		SlotSize: kif.CallReplySlotSize, SlotCount: kif.CallReplySlots,
 	}))
@@ -337,6 +381,8 @@ func (k *Kernel) handleSyscall(p *sim.Process, msg *dtu.Message) {
 		k.Plat.Eng.Emit("kernel", fmt.Sprintf("syscall %s from vpe %d", op, msg.Label))
 	}
 	if tr := k.Plat.Obs; tr.On() {
+		k.mSyscalls.Inc()
+		tr.Metrics().Counter(MSyscalls, int(op)).Inc()
 		tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LKernel,
 			Kind: obs.EvKSyscallStart, Span: obs.SpanID(msg.Span),
 			Arg0: uint64(op), Arg1: msg.Label})

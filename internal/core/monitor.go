@@ -111,7 +111,7 @@ func (k *Kernel) reapVPE(p *sim.Process, vpe *VPE) {
 // rights die with the hardware that held them. Any other failure is an
 // isolation hole and panics, like mustConfig on the happy paths.
 func (k *Kernel) invalidateEP(p *sim.Process, node noc.NodeID, ep int) {
-	err := k.PE.DTU.ConfigureRemote(p, node, ep, dtu.Endpoint{Type: dtu.EpInvalid})
+	err := k.configRemote(p, node, ep, dtu.Endpoint{Type: dtu.EpInvalid})
 	if err == nil {
 		return
 	}

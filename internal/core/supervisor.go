@@ -135,6 +135,9 @@ func (k *Kernel) maybeRespawn(vpe *VPE) {
 		k.installStdEPs(p, nv)
 		nv.started = true
 		k.Stats.ServiceRestarts++
+		if tr := k.Plat.Obs; tr.On() {
+			k.mSupervisorRestarts.Inc()
+		}
 		if k.Plat.Eng.Tracing() {
 			k.Plat.Eng.Emit("kernel", fmt.Sprintf("supervisor: restarted %s as vpe %d on pe%d (restart %d/%d)",
 				sup.name, nv.ID, pe.ID, sup.restarts, sup.policy.MaxRestarts))

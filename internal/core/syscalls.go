@@ -143,6 +143,9 @@ func (k *Kernel) onDrop(c *Capability) {
 	if k.Plat.Eng.Tracing() {
 		k.Plat.Eng.Emit("kernel", fmt.Sprintf("drop %s", c))
 	}
+	if tr := k.Plat.Obs; tr.On() {
+		k.mCapRevocations.Inc()
+	}
 	switch obj := c.Obj.(type) {
 	case *MemObj:
 		if obj.root && !obj.stable && obj.Node == k.Plat.DRAMNode {
@@ -330,7 +333,7 @@ func (k *Kernel) sysActivate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 	k.compute(p, CostActivate)
 	switch obj := cap.Obj.(type) {
 	case *MemObj:
-		cfgErr := k.PE.DTU.ConfigureRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
+		cfgErr := k.configRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
 			Type: dtu.EpMemory, MemTarget: obj.Node, MemAddr: obj.Addr,
 			MemSize: obj.Size, MemPerms: obj.Perms,
 		})
@@ -343,7 +346,7 @@ func (k *Kernel) sysActivate(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 			k.replyErr(p, msg, kif.ErrNoPerm)
 			return
 		}
-		cfgErr := k.PE.DTU.ConfigureRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
+		cfgErr := k.configRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
 			Type: dtu.EpReceive, BufAddr: bufAddr,
 			SlotSize: obj.SlotSize + dtu.HeaderSize, SlotCount: obj.Slots,
 		})
@@ -401,7 +404,7 @@ func recordActivation(vpe *VPE, ep int, cap *Capability) {
 }
 
 func (k *Kernel) configSend(p *sim.Process, vpe *VPE, ep int, sg *SGateObj) error {
-	return k.PE.DTU.ConfigureRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
+	return k.configRemote(p, vpe.PE.Node, ep, dtu.Endpoint{
 		Type: dtu.EpSend, Target: sg.RGate.Owner.PE.Node, TargetEP: sg.RGate.EP,
 		Label: sg.Label, Credits: sg.Credits, MsgSize: sg.RGate.SlotSize,
 	})
@@ -448,7 +451,7 @@ func (k *Kernel) sysRevoke(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu.M
 	for _, a := range acts {
 		// A failed invalidation would leave the revoked rights live in
 		// hardware — an isolation hole, not a recoverable error.
-		mustConfig(k.PE.DTU.ConfigureRemote(p, a.vpe.PE.Node, a.ep, dtu.Endpoint{Type: dtu.EpInvalid}))
+		mustConfig(k.configRemote(p, a.vpe.PE.Node, a.ep, dtu.Endpoint{Type: dtu.EpInvalid}))
 	}
 	k.replyErr(p, msg, kif.OK)
 }

@@ -80,11 +80,54 @@ type DTU struct {
 	obs     *obs.Tracer
 	curSpan uint64
 
+	// Cached metric handles (nil-safe, inert without a tracer); the
+	// registry entries are keyed by node id.
+	mCreditStalls *obs.Counter
+	mRetransmits  *obs.Counter
+	mNacks        *obs.Counter
+
 	Stats Stats
 }
 
-// SetObserver installs the structured tracer (wired by the platform).
-func (d *DTU) SetObserver(tr *obs.Tracer) { d.obs = tr }
+// Metric names this DTU registers, keyed by NoC node id (m3vet:
+// metricname — names must stay package-level constants).
+const (
+	// MCreditStalls counts send attempts denied for lack of credits:
+	// the paper's flow-control backpressure made visible.
+	MCreditStalls = "dtu_credit_stalls_total"
+	// MRetransmits counts reliability-layer retransmissions.
+	MRetransmits = "dtu_retransmits_total"
+	// MNacks counts NACKs this DTU sent for poisoned packets.
+	MNacks = "dtu_nacks_total"
+	// MRxQueued samples the occupied receive-ringbuffer slots across
+	// all endpoints (queue depth over simulated time).
+	MRxQueued = "dtu_rx_queued"
+)
+
+// SetObserver installs the structured tracer (wired by the platform)
+// and registers the DTU's metrics with it.
+func (d *DTU) SetObserver(tr *obs.Tracer) {
+	d.obs = tr
+	if tr.On() {
+		m := tr.Metrics()
+		d.mCreditStalls = m.Counter(MCreditStalls, int(d.node))
+		d.mRetransmits = m.Counter(MRetransmits, int(d.node))
+		d.mNacks = m.Counter(MNacks, int(d.node))
+		m.Series(MRxQueued, int(d.node), func() int64 { return int64(d.RxQueued()) })
+	}
+}
+
+// RxQueued returns the occupied receive-ringbuffer slots across all
+// endpoints — the DTU's instantaneous receive queue depth.
+func (d *DTU) RxQueued() int {
+	n := 0
+	for i := range d.eps {
+		if d.eps[i].Type == EpReceive {
+			n += d.eps[i].occupied
+		}
+	}
+	return n
+}
 
 // StampSpan arms the span register: the next message or RDMA transfer
 // this DTU builds carries the id in its header. Software calls it at
@@ -202,6 +245,9 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 	}
 	if s.Credits == 0 {
 		d.Stats.SendsDenied++
+		if tr := d.obs; tr.On() {
+			d.mCreditStalls.Inc()
+		}
 		return ErrNoCredits
 	}
 	if replyEP >= 0 {
@@ -613,6 +659,9 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 				Arg0: uint64(pkt.Src), Arg1: pkt.Seq})
 		}
 		if pkt.Seq != 0 {
+			if tr := d.obs; tr.On() {
+				d.mNacks.Inc()
+			}
 			d.sendCtrl(pkt.Src, &nackPacket{Seq: pkt.Seq})
 		}
 		return

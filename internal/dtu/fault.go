@@ -175,6 +175,7 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 				pkt.Seq, pkt.Dst, attempt+1))
 		}
 		if tr := d.obs; tr.On() {
+			d.mRetransmits.Inc()
 			tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
 				Kind: obs.EvRetransmit, Span: obs.SpanID(pkt.Span),
 				Arg0: pkt.Seq, Arg1: uint64(pkt.Dst), Arg2: uint64(attempt + 1)})

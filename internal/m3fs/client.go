@@ -8,6 +8,7 @@ import (
 	"repro/internal/dtu"
 	"repro/internal/kif"
 	"repro/internal/m3"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,8 @@ type Client struct {
 	files      []*file
 	recovering bool
 
+	mSessionReopens *obs.Counter
+
 	// AppendBlocks overrides the per-append preallocation (0 = server
 	// default); NoMerge forces separate extents (Figure 4 experiment).
 	AppendBlocks int
@@ -72,6 +75,9 @@ func Mount(env *m3.Env, service string) (*Client, error) {
 		service = ServiceName
 	}
 	c := &Client{env: env, service: service, key: uint64(env.Ctx.PE.ID)}
+	if tr := env.Ctx.PE.Obs(); tr.On() {
+		c.mSessionReopens = tr.Metrics().Counter(MSessionReopens, -1)
+	}
 	var lastErr error
 	for attempt := 0; attempt < maxMountAttempts; attempt++ {
 		sess, err := env.OpenSess(service, "")
@@ -193,6 +199,9 @@ func (c *Client) recover() error {
 		c.sg = c.env.SendGateAt(sgSel)
 		c.gen++
 		c.Recoveries++
+		if tr := c.env.Ctx.PE.Obs(); tr.On() {
+			c.mSessionReopens.Inc()
+		}
 		return nil
 	}
 	return fmt.Errorf("m3fs: session recovery failed: %w", lastErr)

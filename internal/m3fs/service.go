@@ -13,6 +13,15 @@ import (
 	"repro/internal/tile"
 )
 
+// Metric names registered with the obs registry (docs/OBSERVABILITY.md).
+const (
+	// MJournalAppends counts committed journal records.
+	MJournalAppends = "m3fs_journal_appends_total"
+	// MSessionReopens counts client-side session re-establishments
+	// after a service restart.
+	MSessionReopens = "m3fs_session_reopens_total"
+)
+
 // Config parameterizes the m3fs service.
 type Config struct {
 	// RegionSize is the DRAM region backing the filesystem (default 32 MiB).
@@ -95,6 +104,8 @@ type Service struct {
 	// map instead of being re-executed.
 	Deduped uint64
 
+	mJournalAppends *obs.Counter
+
 	// SyncedImage holds the image written by the last sync request:
 	// the stand-in for the persistent storage device the prototype
 	// platform lacks.
@@ -134,6 +145,9 @@ func Start(env *m3.Env, cfg Config) (*Service, error) {
 		env:      env,
 		sessions: make(map[uint64]*session),
 		applied:  make(map[token]appliedEntry),
+	}
+	if tr := env.Ctx.PE.Obs(); tr.On() {
+		s.mJournalAppends = tr.Metrics().Counter(MJournalAppends, -1)
 	}
 	fsBytes := cfg.RegionSize
 	var err error
@@ -246,6 +260,9 @@ func (s *Service) journalFits(n int) bool {
 func (s *Service) commitMut(tok token, rec []byte, entry appliedEntry) {
 	if s.jsize > 0 && rec != nil {
 		s.compute(costJournalAppend)
+		if tr := s.env.Ctx.PE.Obs(); tr.On() {
+			s.mJournalAppends.Inc()
+		}
 		if err := s.mem.Write(rec, s.jbase+journalHdrSize+s.jcommitted); err != nil {
 			panic(fmt.Sprintf("m3fs: journal append failed: %v", err))
 		}

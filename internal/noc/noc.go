@@ -102,6 +102,7 @@ type Network struct {
 	cfg      Config
 	handlers []Handler
 	links    map[linkKey]*sim.Resource
+	linkBusy map[linkKey]*obs.Counter
 	fault    FaultHook
 	obs      *obs.Tracer
 
@@ -132,7 +133,28 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		cfg:      cfg,
 		handlers: make([]Handler, cfg.Width*cfg.Height),
 		links:    make(map[linkKey]*sim.Resource),
+		linkBusy: make(map[linkKey]*obs.Counter),
 	}
+}
+
+// Metric names the network registers, keyed by LinkIndex (m3vet:
+// metricname).
+const (
+	// MLinkBusy accumulates the cycles each directed link was occupied
+	// by packet heads and bodies (router latency + serialization).
+	MLinkBusy = "noc_link_busy_cycles_total"
+	// MLinkQueued samples the packets waiting for each directed link.
+	MLinkQueued = "noc_link_queued"
+)
+
+// LinkIndex encodes the directed link from→to as a dense metric index.
+func (n *Network) LinkIndex(from, to NodeID) int {
+	return int(from)*n.Nodes() + int(to)
+}
+
+// LinkByIndex decodes a LinkIndex.
+func (n *Network) LinkByIndex(i int) (from, to NodeID) {
+	return NodeID(i / n.Nodes()), NodeID(i % n.Nodes())
 }
 
 // Config returns the network parameters.
@@ -271,6 +293,7 @@ func (n *Network) Send(p *sim.Process, pkt *Packet) {
 			}
 			if tr := n.obs; tr.On() {
 				tr.Hist(obs.HLinkOcc).Observe(uint64(n.cfg.HopLatency + ser))
+				n.linkBusy[linkKey{prev, next}].Add(uint64(n.cfg.HopLatency + ser))
 			}
 			p.Sleep(n.cfg.HopLatency)
 			if !dropped {
@@ -380,6 +403,12 @@ func (n *Network) link(prev, next NodeID) *sim.Resource {
 	if !ok {
 		r = sim.NewResource(n.eng, 1)
 		n.links[k] = r
+		if tr := n.obs; tr.On() {
+			idx := n.LinkIndex(prev, next)
+			n.linkBusy[k] = tr.Metrics().Counter(MLinkBusy, idx)
+			res := r
+			tr.Metrics().Series(MLinkQueued, idx, func() int64 { return int64(res.QueueLen()) })
+		}
 	}
 	return r
 }

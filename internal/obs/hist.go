@@ -80,6 +80,24 @@ func (h *Histogram) Mean() uint64 {
 	return h.sum / h.n
 }
 
+// Merge folds other's observations into h, as if every value other saw
+// had been observed on h too. The bucket layout is fixed, so merging is
+// a plain component-wise add and stays deterministic regardless of the
+// order histograms are merged in.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // bucketUpper is the largest value bucket i can hold.
 func bucketUpper(i int) uint64 {
 	if i == 0 {

@@ -80,3 +80,77 @@ func TestWriteCSVGolden(t *testing.T) {
 	}
 	checkGolden(t, "hist.csv", buf.Bytes())
 }
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	// q=0 and q=1 on an empty histogram stay 0; on a populated one q=0
+	// clamps to rank 1 (the lowest bucket) and q=1 is the highest.
+	var empty Histogram
+	if empty.Quantile(0) != 0 || empty.Quantile(1) != 0 {
+		t.Fatalf("empty p0/p100 = %d/%d, want 0/0", empty.Quantile(0), empty.Quantile(1))
+	}
+	var h Histogram
+	h.Observe(1)
+	h.Observe(1000) // bucket 10, upper 1023
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1 (rank clamps to first observation)", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(42) // bucket 6, upper 63
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 63 {
+			t.Fatalf("Quantile(%v) = %d, want 63 (every quantile is the one sample's bucket)", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 42 || h.Max() != 42 || h.Mean() != 42 {
+		t.Fatalf("count=%d sum=%d max=%d mean=%d", h.Count(), h.Sum(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	// Merging differently-populated histograms must behave exactly as
+	// if one histogram had observed both value streams.
+	var a, b, both Histogram
+	for _, v := range []uint64{0, 3, 9} {
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for _, v := range []uint64{512, 513} {
+		b.Observe(v)
+		both.Observe(v)
+	}
+	a.Merge(&b)
+	if a.counts != both.counts {
+		t.Fatalf("merged counts = %v, want %v", a.counts, both.counts)
+	}
+	if a.Count() != both.Count() || a.Sum() != both.Sum() || a.Max() != both.Max() {
+		t.Fatalf("merged count/sum/max = %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Sum(), a.Max(), both.Count(), both.Sum(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merged Quantile(%v) = %d, want %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	h.Merge(nil)          // nil: no-op
+	h.Merge(&Histogram{}) // empty: no-op
+	if h.Count() != 1 || h.Sum() != 7 || h.Max() != 7 {
+		t.Fatalf("after no-op merges: count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	// Merging into an empty histogram adopts the other's contents.
+	var dst Histogram
+	dst.Merge(&h)
+	if dst.Count() != 1 || dst.Max() != 7 || dst.Quantile(1) != 7 {
+		t.Fatalf("merge into empty: count=%d max=%d p100=%d", dst.Count(), dst.Max(), dst.Quantile(1))
+	}
+}

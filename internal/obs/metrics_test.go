@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMetricsNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", -1)
+	g := r.Gauge("y", 0)
+	s := r.Series("z", -1, func() int64 { return 9 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	if c.Value() != 0 || g.Value() != 0 || s.Last() != 0 || s.Samples() != nil {
+		t.Fatalf("nil registry metrics not inert: c=%d g=%d s=%d", c.Value(), g.Value(), s.Last())
+	}
+	if r.Entries() != nil || r.Interval() != 0 {
+		t.Fatalf("nil registry not empty")
+	}
+	r.StartSampler(sim.NewEngine(), 10) // must not panic
+}
+
+func TestMetricsIdentityAndOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a_total", -1)
+	b := r.Counter("b_total", 2)
+	b2 := r.Counter("b_total", 2)
+	if b != b2 {
+		t.Fatalf("same (name, idx) returned distinct counters")
+	}
+	if r.Counter("b_total", 3) == b {
+		t.Fatalf("distinct idx returned same counter")
+	}
+	a.Inc()
+	b.Add(7)
+	r.Gauge("depth", -1).Set(-4)
+	got := make([]string, 0, len(r.Entries()))
+	for _, e := range r.Entries() {
+		got = append(got, e.Name)
+	}
+	want := "a_total b_total b_total depth"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("registration order = %q, want %q", strings.Join(got, " "), want)
+	}
+}
+
+func TestMetricsKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", -1)
+}
+
+func TestSamplerTicksOnSimClock(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRegistry()
+	v := int64(0)
+	s := r.Series("load", -1, func() int64 { return v })
+	// A workload that advances v at known cycles and keeps the engine
+	// busy past three ticks.
+	eng.Schedule(5, func() { v = 10 })
+	eng.Schedule(15, func() { v = 20 })
+	eng.Schedule(35, func() {})
+	r.StartSampler(eng, 10)
+	eng.Run()
+	// Ticks at 10, 20, 30: the 40-tick finds the queue empty afterwards
+	// and stops; sample at 10 sees v=10, at 20 sees v=20.
+	samples := s.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("got %d samples, want >= 3 (%v)", len(samples), samples)
+	}
+	if samples[0] != 10 || samples[1] != 20 || samples[2] != 20 {
+		t.Fatalf("samples = %v, want [10 20 20 ...]", samples)
+	}
+	if r.Interval() != 10 {
+		t.Fatalf("Interval() = %d, want 10", r.Interval())
+	}
+}
+
+func TestSamplerOffSchedulesNothing(t *testing.T) {
+	// Without StartSampler the registry must not touch the engine: a
+	// run with metrics registered executes exactly as many events as
+	// one without.
+	run := func(register bool) (uint64, sim.Time) {
+		eng := sim.NewEngine()
+		if register {
+			r := NewRegistry()
+			r.Counter("c", -1).Inc()
+			r.Series("s", -1, func() int64 { return 1 })
+		}
+		eng.Schedule(5, func() {})
+		eng.Schedule(9, func() {})
+		end := eng.Run()
+		return eng.ExecutedEvents(), end
+	}
+	withEv, withEnd := run(true)
+	withoutEv, withoutEnd := run(false)
+	if withEv != withoutEv || withEnd != withoutEnd {
+		t.Fatalf("registry without sampler perturbed the run: %d@%d vs %d@%d",
+			withEv, withEnd, withoutEv, withoutEnd)
+	}
+}
+
+func TestSnapshotDeterministicAndFormatted(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("dtu_stalls_total", 2).Add(17)
+		r.Gauge("queue_depth", -1).Set(-3)
+		s := r.Series("pe_idle", 0, nil)
+		s.samples = []int64{0, 12, 40}
+		return r
+	}
+	snap := build().Snapshot()
+	want := `# m3 metrics v1 interval=0
+counter dtu_stalls_total[2] 17
+gauge queue_depth -3
+series pe_idle[0] n=3: 0 12 40
+`
+	if snap != want {
+		t.Fatalf("snapshot:\n%s\nwant:\n%s", snap, want)
+	}
+	if snap != build().Snapshot() {
+		t.Fatalf("identical construction produced differing snapshots")
+	}
+}
+
+func TestEntryValueAndSamples(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", -1).Add(4)
+	r.Gauge("g", -1).Set(-2)
+	s := r.Series("s", -1, nil)
+	s.samples = []int64{1, 2, 3}
+	vals := make(map[string]int64)
+	for _, e := range r.Entries() {
+		vals[e.Name] = e.Value()
+		if e.Kind != KindSeries && e.Samples() != nil {
+			t.Fatalf("%s: non-series entry reports samples", e.Name)
+		}
+	}
+	if vals["c"] != 4 || vals["g"] != -2 || vals["s"] != 3 {
+		t.Fatalf("entry values = %v", vals)
+	}
+}

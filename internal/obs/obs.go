@@ -210,12 +210,14 @@ type Tracer struct {
 	flightCap int
 	rings     []*flightRing // index = PE node id
 
-	hists [NumHists]Histogram
+	hists   [NumHists]Histogram
+	metrics *Registry
 }
 
 // New creates an enabled tracer.
 func New(opt Options) *Tracer {
-	t := &Tracer{enabled: true, sink: opt.Sink, flightCap: opt.FlightRecorder}
+	t := &Tracer{enabled: true, sink: opt.Sink, flightCap: opt.FlightRecorder,
+		metrics: NewRegistry()}
 	for i := range t.hists {
 		t.hists[i].Name = HistID(i).String()
 	}
@@ -253,6 +255,15 @@ func (t *Tracer) Emit(ev Event) {
 
 // Hist returns the named histogram.
 func (t *Tracer) Hist(id HistID) *Histogram { return &t.hists[id] }
+
+// Metrics returns the tracer's metrics registry (nil for a nil tracer;
+// the nil registry is valid and inert, like the tracer itself).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
 
 // Histograms returns all histograms in fixed id order.
 func (t *Tracer) Histograms() []*Histogram {

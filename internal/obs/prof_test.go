@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed pushes a synthetic event stream through a fresh profiler.
+func feed(events []Event) *Profiler {
+	pr := NewProfiler()
+	for _, ev := range events {
+		pr.Consume(ev)
+	}
+	return pr
+}
+
+func cyclesOf(pr *Profiler, path string) uint64 {
+	for _, pc := range pr.Folded() {
+		if pc.Path == path {
+			return pc.Cycles
+		}
+	}
+	return 0
+}
+
+func TestProfilerSelfTimeSubtractsChildren(t *testing.T) {
+	// An app syscall spanning [0,100] with a nested xfer [20,50]:
+	// the syscall keeps 70 self-cycles, the xfer 30.
+	pr := feed([]Event{
+		{At: 0, PE: 2, Layer: LApp, Kind: EvSyscallStart, Span: 1},
+		{At: 20, PE: 2, Layer: LDTU, Kind: EvXferStart, Span: 2},
+		{At: 50, PE: 2, Layer: LDTU, Kind: EvXferEnd, Span: 2},
+		{At: 100, PE: 2, Layer: LApp, Kind: EvSyscallEnd, Span: 1},
+	})
+	if got := cyclesOf(pr, "pe2;app/syscall"); got != 70 {
+		t.Fatalf("syscall self = %d, want 70\n%v", got, pr.Folded())
+	}
+	if got := cyclesOf(pr, "pe2;app/syscall;dtu/xfer"); got != 30 {
+		t.Fatalf("xfer self = %d, want 30\n%v", got, pr.Folded())
+	}
+}
+
+func TestProfilerFoldedInvariant(t *testing.T) {
+	// Summing every line under a root reproduces the root total — the
+	// folded-stack invariant flamegraph tools rely on.
+	pr := feed([]Event{
+		{At: 0, PE: 0, Layer: LKernel, Kind: EvKSyscallStart, Span: 1},
+		{At: 10, PE: 0, Layer: LService, Kind: EvSvcCallStart, Span: 2},
+		{At: 40, PE: 0, Layer: LService, Kind: EvSvcCallEnd, Span: 2},
+		{At: 60, PE: 0, Layer: LKernel, Kind: EvKSyscallEnd, Span: 1},
+	})
+	var total uint64
+	for _, pc := range pr.Folded() {
+		if strings.HasPrefix(pc.Path, "pe0;") {
+			total += pc.Cycles
+		}
+	}
+	if total != 60 {
+		t.Fatalf("sum of pe0 self-cycles = %d, want 60 (outer span duration)", total)
+	}
+	byPE := pr.TotalByPE()
+	if len(byPE) != 1 || byPE[0].Path != "pe0" || byPE[0].Cycles != 60 {
+		t.Fatalf("TotalByPE = %v, want [{pe0 60}]", byPE)
+	}
+}
+
+func TestProfilerFlightAttachesToSender(t *testing.T) {
+	// A message sent from inside pe1's syscall frame and received on
+	// pe3 at cycle 25 books a 15-cycle flight leaf under the sender.
+	pr := feed([]Event{
+		{At: 0, PE: 1, Layer: LApp, Kind: EvSyscallStart, Span: 7},
+		{At: 10, PE: 1, Layer: LDTU, Kind: EvMsgSend, Span: 7},
+		{At: 25, PE: 3, Layer: LDTU, Kind: EvMsgRecv, Span: 7},
+		{At: 40, PE: 1, Layer: LApp, Kind: EvSyscallEnd, Span: 7},
+	})
+	if got := cyclesOf(pr, "pe1;app/syscall;dtu/flight"); got != 15 {
+		t.Fatalf("flight = %d, want 15\n%v", got, pr.Folded())
+	}
+	// The flight counts as child time: syscall self is 40-15=25.
+	if got := cyclesOf(pr, "pe1;app/syscall"); got != 25 {
+		t.Fatalf("syscall self = %d, want 25\n%v", got, pr.Folded())
+	}
+}
+
+func TestProfilerUnmatchedEventsDropped(t *testing.T) {
+	// Frames without an end (crashed program) and receives without a
+	// send contribute nothing.
+	pr := feed([]Event{
+		{At: 0, PE: 4, Layer: LApp, Kind: EvSyscallStart, Span: 1},
+		{At: 9, PE: 4, Layer: LDTU, Kind: EvMsgRecv, Span: 99},
+	})
+	if folded := pr.Folded(); len(folded) != 0 {
+		t.Fatalf("unmatched events attributed cycles: %v", folded)
+	}
+}
+
+func TestProfilerDeterministicOutput(t *testing.T) {
+	events := []Event{
+		{At: 0, PE: 0, Layer: LKernel, Kind: EvKSyscallStart, Span: 1},
+		{At: 5, PE: 1, Layer: LApp, Kind: EvSyscallStart, Span: 2},
+		{At: 30, PE: 1, Layer: LApp, Kind: EvSyscallEnd, Span: 2},
+		{At: 50, PE: 0, Layer: LKernel, Kind: EvKSyscallEnd, Span: 1},
+	}
+	var a, b strings.Builder
+	if err := feed(events).WriteFolded(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed(events).WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatalf("WriteFolded not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Top(1) picks the largest self-time line.
+	top := feed(events).Top(1)
+	if len(top) != 1 || top[0].Path != "pe0;kernel/ksyscall" || top[0].Cycles != 50 {
+		t.Fatalf("Top(1) = %v", top)
+	}
+}
