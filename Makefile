@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
 
-.PHONY: ci build test vet bench bench-smoke chaos fuzz
+.PHONY: ci build test vet vet-fast vet-baseline bench bench-smoke chaos fuzz
 
 ci:
 	./ci.sh
@@ -14,6 +14,18 @@ test:
 vet:
 	go vet ./...
 	go run ./cmd/m3vet ./...
+
+# Syntactic rules only — skips the interprocedural fixpoint (call
+# graph, effect summaries, taint) for quick local iteration.
+vet-fast:
+	go run ./cmd/m3vet -fast ./...
+
+# Regenerate the committed suppression set from the current tree. The
+# sharedstate keys in vet-baseline.json double as the parallel-DES
+# synchronization work-list (ROADMAP item 2); review the diff before
+# committing — a new key is a new shared-state obligation.
+vet-baseline:
+	go run ./cmd/m3vet -write-baseline vet-baseline.json
 
 bench:
 	go test -bench=. -benchmem

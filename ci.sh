@@ -3,8 +3,12 @@
 #
 #   build      the whole module compiles
 #   go vet     the stock Go checks
-#   m3vet      the repo's own determinism & isolation linter
-#              (see docs/ANALYSIS.md)
+#   m3vet      the repo's own determinism & isolation linter, including
+#              the interprocedural passes (sharedstate, timetaint,
+#              capflow); known-accepted findings are suppressed by
+#              vet-baseline.json and the shared-state inventory is kept
+#              as artifacts/sharedstate.json — the parallel-DES
+#              work-list (see docs/ANALYSIS.md)
 #   tests      the full suite under the race detector — any data race
 #              would mean the sim's strict goroutine hand-off is broken
 #   chaos      the fault-injection tier: determinism under faults, the
@@ -19,7 +23,7 @@ set -eux
 
 go build ./...
 go vet ./...
-go run ./cmd/m3vet ./...
+go run ./cmd/m3vet -json artifacts/sharedstate.json ./...
 go test -race ./...
 make chaos
 make fuzz

@@ -5,15 +5,31 @@
 //
 //	go run ./cmd/m3vet ./...
 //
+// Flags:
+//
+//	-fast                 skip the interprocedural passes (sharedstate,
+//	                      timetaint, capflow): syntactic rules only, no
+//	                      call-graph fixpoint — quick local iteration
+//	-json FILE            write the structured report (findings with
+//	                      witness chains + the shared-state inventory)
+//	                      to FILE ("-" for stdout)
+//	-baseline FILE        suppress findings whose stable keys appear in
+//	                      FILE (default vet-baseline.json at the module
+//	                      root if present)
+//	-write-baseline FILE  write the current keyed findings to FILE and
+//	                      exit 0 (used by `make vet-baseline`)
+//
 // Arguments are accepted for `go vet`-style muscle memory but the tool
 // always analyzes the whole module containing the working directory;
 // the invariants it checks are module-global (import-graph rules have
-// no meaning for a single package). Suppress a finding with a
+// no meaning for a single package). Suppress a syntactic finding with a
 // `//m3vet:allow <rule> <reason>` comment on or above the flagged
-// line. See docs/ANALYSIS.md for the rule catalogue.
+// line; interprocedural findings are suppressed by key through the
+// baseline file. See docs/ANALYSIS.md for the rule catalogue.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,27 +38,84 @@ import (
 )
 
 func main() {
+	fast := flag.Bool("fast", false, "skip interprocedural passes (no call-graph fixpoint)")
+	jsonOut := flag.String("json", "", "write structured JSON report to this file (- for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline suppression file (default: vet-baseline.json at module root)")
+	writeBaseline := flag.String("write-baseline", "", "write current keyed findings as the new baseline and exit")
+	flag.Parse()
+
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "m3vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	diags, err := analysis.Check(root, analysis.All())
+
+	mods := analysis.AllModule()
+	if *fast {
+		mods = nil
+	}
+	res, err := analysis.CheckModule(root, analysis.All(), mods)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "m3vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, res.Diagnostics); err != nil {
+			fatal(err)
+		}
+		keyed := 0
+		for _, d := range res.Diagnostics {
+			if d.Key != "" {
+				keyed++
+			}
+		}
+		fmt.Printf("m3vet: wrote %d accepted finding key(s) to %s\n", keyed, *writeBaseline)
+		return
+	}
+
+	bp := *baselinePath
+	if bp == "" {
+		bp = filepath.Join(root, "vet-baseline.json")
+	}
+	baseline, err := analysis.LoadBaseline(bp)
+	if err != nil {
+		fatal(err)
+	}
+	diags, suppressed := baseline.Filter(res.Diagnostics)
+
+	if *jsonOut != "" {
+		rep := analysis.BuildReport(root, diags, res.Inventory, suppressed)
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+
 	for _, d := range diags {
 		name := d.Pos.Filename
 		if rel, err := filepath.Rel(root, name); err == nil {
 			name = rel
 		}
 		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		for _, step := range d.Chain {
+			sname := step.Pos.Filename
+			if rel, err := filepath.Rel(root, sname); err == nil {
+				sname = rel
+			}
+			fmt.Printf("\t%s:%d: %s\n", sname, step.Pos.Line, step.Note)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "m3vet: %d finding(s)\n", len(diags))
+		fmt.Fprintf(os.Stderr, "m3vet: %d finding(s)", len(diags))
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, " (+%d baseline-suppressed)", suppressed)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "m3vet:", err)
+	os.Exit(2)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

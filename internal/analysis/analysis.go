@@ -48,11 +48,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Fact is one step of a finding's witness chain: a position and a note
+// explaining what the dataflow engine concluded there ("kernel.run
+// calls dtu.Send", "dtu.Send writes Network.PacketsSent").
+type Fact struct {
+	Pos  token.Position
+	Note string
+}
+
 // Diagnostic is one finding, printed as "file:line:col: rule: message".
 type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+
+	// Key is a stable, position-independent identity for baseline
+	// suppression ("sharedstate:repro/internal/noc.Network.PacketsSent").
+	// Per-package syntactic rules leave it empty; they are gated by
+	// //m3vet:allow comments instead.
+	Key string
+	// Chain is the interprocedural witness for the finding, outermost
+	// step first. Empty for syntactic rules.
+	Chain []Fact
 }
 
 func (d Diagnostic) String() string {
@@ -71,6 +88,57 @@ func All() []*Analyzer {
 		EpochFence,
 		ObsGuard,
 		MetricName,
+	}
+}
+
+// ModuleAnalyzer is a whole-module rule: it sees every package at
+// once, plus the call graph and effect summaries the interprocedural
+// engine computed over them. The three dataflow passes (sharedstate,
+// timetaint, capflow) are module analyzers; the per-package syntactic
+// rules stay plain Analyzers.
+type ModuleAnalyzer struct {
+	// Name is the rule identifier used in diagnostics, baseline keys
+	// and //m3vet:allow comments.
+	Name string
+	// Doc is a one-line description of the protected invariant.
+	Doc string
+	// Run inspects the whole module and reports findings on the pass.
+	Run func(*ModulePass)
+}
+
+// ModulePass carries one module analyzer's run.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	// Pkgs are all module packages in path order.
+	Pkgs []*Package
+	// Graph is the conservative module call graph.
+	Graph *CallGraph
+	// Summaries are the fixpoint effect summaries over Graph.
+	Summaries *Summaries
+	// Inventory is the shared-state inventory, computed once per run.
+	Inventory []InventoryEntry
+
+	report func(Diagnostic)
+}
+
+// Report records a finding with a stable baseline key and a witness
+// chain.
+func (p *ModulePass) Report(pos token.Position, key, message string, chain []Fact) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Rule:    p.Analyzer.Name,
+		Message: message,
+		Key:     p.Analyzer.Name + ":" + key,
+		Chain:   chain,
+	})
+}
+
+// AllModule returns the module-level analyzer set in a fixed order.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		SharedState,
+		TimeTaint,
+		CapFlow,
 	}
 }
 
@@ -129,9 +197,19 @@ func collectAllows(pkg *Package, known map[string]bool) (map[allowKey]bool, []Di
 // RunAnalyzers executes the analyzers over one package and returns the
 // surviving (non-suppressed) diagnostics, position-sorted.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
+	return runAnalyzersKnown(pkg, analyzers, nil)
+}
+
+// runAnalyzersKnown is RunAnalyzers with additional rule names treated
+// as known in //m3vet:allow comments (the module-level rules, which do
+// not run per package but may be suppressed per line).
+func runAnalyzersKnown(pkg *Package, analyzers []*Analyzer, extraKnown []string) []Diagnostic {
+	known := make(map[string]bool, len(analyzers)+len(extraKnown))
 	for _, a := range analyzers {
 		known[a.Name] = true
+	}
+	for _, name := range extraKnown {
+		known[name] = true
 	}
 	allows, diags := collectAllows(pkg, known)
 	for _, a := range analyzers {
@@ -169,6 +247,29 @@ func SortDiagnostics(diags []Diagnostic) {
 // errors, not diagnostics: the module must build before it can be
 // vetted.
 func Check(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := CheckModule(dir, analyzers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// ModuleResult is everything one m3vet run produces: the findings plus
+// the shared-state inventory (ROADMAP item 2's synchronization
+// work-list), which is emitted even when it produces no diagnostics.
+type ModuleResult struct {
+	Diagnostics []Diagnostic
+	// Inventory is the shared-state inventory; nil when the
+	// interprocedural engine was skipped (fast mode).
+	Inventory []InventoryEntry
+}
+
+// CheckModule loads every package of the module rooted at dir, runs the
+// per-package analyzers over each, then (if any module analyzers are
+// given) builds the call graph and effect summaries once and runs the
+// interprocedural passes. Passing no module analyzers is "fast mode":
+// syntactic rules only, no fixpoint.
+func CheckModule(dir string, analyzers []*Analyzer, mods []*ModuleAnalyzer) (*ModuleResult, error) {
 	l, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -177,14 +278,62 @@ func Check(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}
-		diags = append(diags, RunAnalyzers(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	SortDiagnostics(diags)
-	return diags, nil
+	res, err := checkPackages(pkgs, analyzers, mods)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkPackages is the load-free core of CheckModule, shared with the
+// overlay-fixture tests.
+func checkPackages(pkgs []*Package, analyzers []*Analyzer, mods []*ModuleAnalyzer) (*ModuleResult, error) {
+	extraKnown := make([]string, 0, len(mods))
+	for _, m := range mods {
+		extraKnown = append(extraKnown, m.Name)
+	}
+	res := &ModuleResult{}
+	for _, pkg := range pkgs {
+		res.Diagnostics = append(res.Diagnostics, runAnalyzersKnown(pkg, analyzers, extraKnown)...)
+	}
+	if len(mods) > 0 {
+		graph := BuildCallGraph(pkgs)
+		sums := Summarize(graph)
+		res.Inventory = BuildInventory(graph, sums)
+		// Line-level allow comments apply to module findings too; a
+		// baseline file handles the accepted inventory wholesale.
+		allKnown := make(map[string]bool)
+		for _, a := range analyzers {
+			allKnown[a.Name] = true
+		}
+		for _, name := range extraKnown {
+			allKnown[name] = true
+		}
+		allows := make(map[allowKey]bool)
+		for _, pkg := range pkgs {
+			pkgAllows, _ := collectAllows(pkg, allKnown)
+			for k := range pkgAllows {
+				allows[k] = true
+			}
+		}
+		for _, m := range mods {
+			pass := &ModulePass{Analyzer: m, Pkgs: pkgs, Graph: graph, Summaries: sums, Inventory: res.Inventory}
+			pass.report = func(d Diagnostic) {
+				if !allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+					res.Diagnostics = append(res.Diagnostics, d)
+				}
+			}
+			m.Run(pass)
+		}
+	}
+	SortDiagnostics(res.Diagnostics)
+	return res, nil
 }

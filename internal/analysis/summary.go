@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file computes per-function *effect summaries* — which
+// package-level variables and which struct fields a function may read
+// or write, directly or through anything it calls — and propagates
+// them over the call graph to a fixpoint.
+//
+// Granularity: summaries are field-sensitive but instance-insensitive.
+// A write to d.eps[i].Credits is recorded as "writes field
+// dtu.epState.Credits", with no attempt to distinguish which epState
+// (or which DTU) — alias analysis on a simulator whose objects are
+// wired together at boot would buy little precision for its cost. The
+// consumers are designed for that: the shared-state inventory is a
+// conservative work-list, not a proof of a race.
+
+// Loc is one abstract mutable location: a package-level variable or a
+// struct field, identified by its types object.
+type Loc struct {
+	// Var is the variable or field object.
+	Var *types.Var
+	// Field is true for struct fields, false for package-level vars.
+	Field bool
+}
+
+// String returns the stable identity used in inventories and baseline
+// keys: "pkg/path.VarName" or "pkg/path.Type.Field".
+func (l Loc) String() string {
+	v := l.Var
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	if !l.Field {
+		return fmt.Sprintf("%s.%s", pkg, v.Name())
+	}
+	if owner := fieldOwner(v); owner != "" {
+		return fmt.Sprintf("%s.%s.%s", pkg, owner, v.Name())
+	}
+	return fmt.Sprintf("%s.(struct).%s", pkg, v.Name())
+}
+
+// fieldOwners maps each field object of a module to the name of the
+// named struct type declaring it; built lazily per module.
+var fieldOwnersCache = map[*types.Var]string{}
+
+func fieldOwner(v *types.Var) string { return fieldOwnersCache[v] }
+
+// effect records how a location was reached from a function: directly
+// at a position, or through a callee.
+type effect struct {
+	// pos is the access position (direct) or the call position (via).
+	pos token.Pos
+	// via is the callee whose summary contributed the location, nil
+	// for a direct access in this function's body.
+	via *FuncNode
+}
+
+// Summary is one function's transitive effect set.
+type Summary struct {
+	Node *FuncNode
+	// Writes and Reads map each location to the first-seen effect
+	// (direct access or the call edge it arrived through), which is
+	// enough to reconstruct one witness chain per (function, location).
+	Writes map[Loc]effect
+	Reads  map[Loc]effect
+}
+
+// Summaries is the module-wide fixpoint result.
+type Summaries struct {
+	ByNode map[*FuncNode]*Summary
+	graph  *CallGraph
+}
+
+// Summarize computes direct effects for every node and propagates them
+// over call edges until nothing changes.
+func Summarize(g *CallGraph) *Summaries {
+	s := &Summaries{ByNode: make(map[*FuncNode]*Summary, len(g.Nodes)), graph: g}
+	registerFieldOwners(g.pkgs)
+	for _, n := range g.Nodes {
+		s.ByNode[n] = directEffects(n)
+	}
+	// Fixpoint: iterate in deterministic node order. The effect sets
+	// only grow and are bounded by (#locations × #functions), so this
+	// terminates; on this module it converges in a handful of rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			sum := s.ByNode[n]
+			for _, callee := range n.Calls {
+				cs := s.ByNode[callee]
+				if cs == nil {
+					continue
+				}
+				callPos := n.Pos()
+				for loc := range cs.Writes {
+					if _, ok := sum.Writes[loc]; !ok {
+						sum.Writes[loc] = effect{pos: callPos, via: callee}
+						changed = true
+					}
+				}
+				for loc := range cs.Reads {
+					if _, ok := sum.Reads[loc]; !ok {
+						sum.Reads[loc] = effect{pos: callPos, via: callee}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// WriteChain reconstructs one witness chain for why fn may write loc:
+// a list of "function at position" steps ending at the direct access.
+func (s *Summaries) WriteChain(fn *FuncNode, loc Loc) []Fact {
+	return s.chain(fn, loc, func(sum *Summary) (effect, bool) {
+		e, ok := sum.Writes[loc]
+		return e, ok
+	})
+}
+
+func (s *Summaries) chain(fn *FuncNode, loc Loc, get func(*Summary) (effect, bool)) []Fact {
+	var facts []Fact
+	seen := make(map[*FuncNode]bool)
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		sum := s.ByNode[fn]
+		if sum == nil {
+			break
+		}
+		e, ok := get(sum)
+		if !ok {
+			break
+		}
+		pos := fn.Pkg.Fset.Position(e.pos)
+		if e.via == nil {
+			facts = append(facts, Fact{Pos: pos, Note: fmt.Sprintf("%s accesses %s", fn.Name(), loc)})
+			return facts
+		}
+		facts = append(facts, Fact{Pos: pos, Note: fmt.Sprintf("%s calls %s", fn.Name(), e.via.Name())})
+		fn = e.via
+	}
+	return facts
+}
+
+// registerFieldOwners fills the field→owning-type map for the loaded
+// packages.
+func registerFieldOwners(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				fieldOwnersCache[st.Field(i)] = tn.Name()
+			}
+		}
+	}
+}
+
+// directEffects walks one function body and records its immediate
+// reads and writes of package-level vars and struct fields.
+func directEffects(n *FuncNode) *Summary {
+	sum := &Summary{Node: n, Writes: make(map[Loc]effect), Reads: make(map[Loc]effect)}
+	if n.Body == nil {
+		return sum
+	}
+	info := n.Pkg.Info
+	record := func(expr ast.Expr, write bool) {
+		loc, ok := locOf(info, expr)
+		if !ok {
+			return
+		}
+		set := sum.Reads
+		if write {
+			set = sum.Writes
+		}
+		if _, dup := set[loc]; !dup {
+			set[loc] = effect{pos: expr.Pos()}
+		}
+	}
+	var walk func(node ast.Node) bool
+	walk = func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			// Nested literals are separate call-graph nodes with their
+			// own summaries.
+			if n.Lit != node {
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				record(lhs, true)
+				// x.f = v also *reads* x (and x.f += v reads x.f; the
+				// read set is conservative either way).
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					ast.Inspect(sel.X, walk)
+				}
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					ast.Inspect(idx.X, walk)
+					ast.Inspect(idx.Index, walk)
+				}
+			}
+			if node.Tok != token.ASSIGN && node.Tok != token.DEFINE {
+				// Compound assignment reads the target too.
+				for _, lhs := range node.Lhs {
+					record(lhs, false)
+				}
+			}
+			for _, rhs := range node.Rhs {
+				ast.Inspect(rhs, walk)
+			}
+			return false
+		case *ast.IncDecStmt:
+			record(node.X, true)
+			record(node.X, false)
+			if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, walk)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				// Taking the address of a location lets anything
+				// downstream write it; record conservatively as a
+				// write (and a read).
+				record(node.X, true)
+				record(node.X, false)
+			}
+		case *ast.SelectorExpr:
+			record(node, false)
+			ast.Inspect(node.X, walk)
+			return false
+		case *ast.Ident:
+			record(node, false)
+		case *ast.RangeStmt:
+			// `range x` reads x; the key/value are new objects.
+			ast.Inspect(node.X, walk)
+			if node.Body != nil {
+				ast.Inspect(node.Body, walk)
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n.Body, walk)
+	return sum
+}
+
+// locOf resolves an assignable expression to an abstract location:
+// package-level var, or struct field (through any number of
+// selectors/indexes/stars). Locals and parameters return ok=false.
+func locOf(info *types.Info, expr ast.Expr) (Loc, bool) {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[expr].(*types.Var); ok && isPackageLevel(v) {
+			return Loc{Var: v}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[expr]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return Loc{Var: v, Field: true}, true
+			}
+		}
+		// Package-qualified var: pkg.V
+		if v, ok := info.Uses[expr.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return Loc{Var: v}, true
+		}
+	case *ast.IndexExpr:
+		// m[k] = v mutates whatever m is: attribute to m's location.
+		return locOf(info, expr.X)
+	case *ast.StarExpr:
+		return locOf(info, expr.X)
+	}
+	return Loc{}, false
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	if v.Pkg() == nil || v.IsField() {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// SortLocs orders locations by their string identity.
+func SortLocs(locs []Loc) {
+	sort.Slice(locs, func(i, j int) bool { return locs[i].String() < locs[j].String() })
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func summaryLocs(m map[Loc]effect) []string {
+	var out []string
+	for loc := range m {
+		out = append(out, loc.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasLoc(m map[Loc]effect, key string) bool {
+	for loc := range m {
+		if loc.String() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSummaryDirectEffects(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"repro/internal/a": {"a.go": `package a
+
+var Counter int
+
+type T struct{ n int }
+
+func (t *T) Bump() {
+	t.n++          // field write + read
+	Counter += t.n // global compound write (reads too)
+}
+`},
+	}
+	g := BuildCallGraph(loadPkgs(t, overlay))
+	sums := Summarize(g)
+	sum := sums.ByNode[nodeByName(t, g, "repro/internal/a.(T).Bump")]
+	for _, want := range []string{"repro/internal/a.T.n", "repro/internal/a.Counter"} {
+		if !hasLoc(sum.Writes, want) {
+			t.Errorf("Bump should write %s; writes: %v", want, summaryLocs(sum.Writes))
+		}
+		if !hasLoc(sum.Reads, want) {
+			t.Errorf("Bump should read %s; reads: %v", want, summaryLocs(sum.Reads))
+		}
+	}
+}
+
+// Effects must propagate over call edges — including mutual recursion,
+// which exercises fixpoint termination — and WriteChain must
+// reconstruct the full caller-to-access witness.
+func TestSummaryFixpointAndChain(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"repro/internal/a": {"a.go": `package a
+
+var Hits int
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	Hits++
+	ping(n)
+}
+
+func Top() { ping(3) }
+`},
+	}
+	g := BuildCallGraph(loadPkgs(t, overlay))
+	sums := Summarize(g)
+	top := nodeByName(t, g, "repro/internal/a.Top")
+	sum := sums.ByNode[top]
+	if !hasLoc(sum.Writes, "repro/internal/a.Hits") {
+		t.Fatalf("Top should transitively write Hits; writes: %v", summaryLocs(sum.Writes))
+	}
+	var loc Loc
+	for l := range sum.Writes {
+		if l.String() == "repro/internal/a.Hits" {
+			loc = l
+		}
+	}
+	chain := sums.WriteChain(top, loc)
+	if len(chain) < 2 {
+		t.Fatalf("witness chain too short: %v", chain)
+	}
+	last := chain[len(chain)-1].Note
+	if !strings.Contains(last, "accesses repro/internal/a.Hits") {
+		t.Errorf("chain should end at the direct access, got %q", last)
+	}
+	if !strings.Contains(chain[0].Note, "Top calls") {
+		t.Errorf("chain should start at Top's call, got %q", chain[0].Note)
+	}
+}
+
+// A literal's effects belong to the literal's node; the parent picks
+// them up only through a call edge (immediately invoked) or a dynamic
+// edge — never by textual containment.
+func TestSummaryLiteralSeparation(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"repro/internal/a": {"a.go": `package a
+
+var N int
+
+func Stash() func() {
+	return func() { N++ }
+}
+`},
+	}
+	g := BuildCallGraph(loadPkgs(t, overlay))
+	sums := Summarize(g)
+	stash := sums.ByNode[nodeByName(t, g, "repro/internal/a.Stash")]
+	if hasLoc(stash.Writes, "repro/internal/a.N") {
+		t.Errorf("Stash never runs the literal; writes: %v", summaryLocs(stash.Writes))
+	}
+	lit := sums.ByNode[nodeByName(t, g, "repro/internal/a.Stash$lit@6")]
+	if !hasLoc(lit.Writes, "repro/internal/a.N") {
+		t.Errorf("the literal writes N; writes: %v", summaryLocs(lit.Writes))
+	}
+}

@@ -261,10 +261,10 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 	msg := &Message{
 		Label:      s.Label,
 		Data:       append([]byte(nil), data...),
-		ReplyNode:  d.node,
-		ReplyEP:    replyEP,
-		ReplyLabel: replyLabel,
-		CreditEP:   ep,
+		replyNode:  d.node,
+		replyEP:    replyEP,
+		replyLabel: replyLabel,
+		creditEP:   ep,
 		Span:       d.takeSpan(),
 		sentAt:     d.eng.Now(),
 	}
@@ -310,10 +310,10 @@ func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
 	msg.replied = true
 	d.Ack(ep, msg)
 	reply := &Message{
-		Label:     msg.ReplyLabel,
+		Label:     msg.replyLabel,
 		Data:      append([]byte(nil), data...),
-		ReplyNode: d.node,
-		ReplyEP:   -1,
+		replyNode: d.node,
+		replyEP:   -1,
 		Span:      msg.Span,
 		sentAt:    d.eng.Now(),
 	}
@@ -321,11 +321,11 @@ func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
 	if tr := d.obs; tr.On() {
 		tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
 			Kind: obs.EvReplySend, Span: obs.SpanID(reply.Span),
-			Arg0: uint64(ep), Arg1: uint64(msg.ReplyNode), Arg2: uint64(len(data))})
+			Arg0: uint64(ep), Arg1: uint64(msg.replyNode), Arg2: uint64(len(data))})
 	}
 	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: msg.ReplyNode, Size: msgWireSize(len(data)), Span: reply.Span,
-		Payload: &replyPacket{TargetEP: msg.ReplyEP, CreditEP: msg.CreditEP, Msg: reply},
+		Src: d.node, Dst: msg.replyNode, Size: msgWireSize(len(data)), Span: reply.Span,
+		Payload: &replyPacket{TargetEP: msg.replyEP, CreditEP: msg.creditEP, Msg: reply},
 	})
 }
 

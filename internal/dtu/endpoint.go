@@ -110,14 +110,18 @@ type Message struct {
 	// Data is the message payload.
 	Data []byte
 
-	// Reply routing, taken from the header. ReplyEP < 0 means the
-	// sender did not permit a reply.
-	ReplyNode  noc.NodeID
-	ReplyEP    int
-	ReplyLabel uint64
-	// CreditEP is the sender's send endpoint whose credit is restored
+	// Reply routing, taken from the header. The fields are unexported
+	// on purpose: software that fetches a message may Reply to it, but
+	// must never see the raw node id or endpoint index of the sender —
+	// the message is an opaque reply capability (m3vet's capflow rule
+	// checks exactly this). replyEP < 0 means the sender did not permit
+	// a reply.
+	replyNode  noc.NodeID
+	replyEP    int
+	replyLabel uint64
+	// creditEP is the sender's send endpoint whose credit is restored
 	// when the reply arrives.
-	CreditEP int
+	creditEP int
 
 	// Span is the causal trace id riding in the message header's label
 	// space (zero: none). Replies inherit it, so one request's full
@@ -131,7 +135,7 @@ type Message struct {
 }
 
 // CanReply reports whether the sender permitted a direct reply.
-func (m *Message) CanReply() bool { return m.ReplyEP >= 0 }
+func (m *Message) CanReply() bool { return m.replyEP >= 0 }
 
 // Stats counts DTU activity for the evaluation harness.
 type Stats struct {

@@ -119,6 +119,33 @@ func (pl *Plan) Validate() error {
 	return nil
 }
 
+// normalized validates the plan and returns the copy the injector will
+// own: defaults filled in, and the Brownouts/Crashes slices reheaded
+// onto private arrays. The copy matters — an armed schedule must not
+// alias the caller's slices, or mutating a Plan value after Attach
+// (or writing through Injector.Plan()'s result) would silently rewrite
+// the injected faults mid-run.
+func (pl Plan) normalized() (Plan, error) {
+	if err := pl.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if pl.StallCycles == 0 {
+		pl.StallCycles = DefaultStallCycles
+	}
+	if pl.HeartbeatPeriod == 0 {
+		pl.HeartbeatPeriod = DefaultHeartbeatPeriod
+	}
+	if pl.MaxMissedBeats == 0 {
+		pl.MaxMissedBeats = DefaultMaxMissedBeats
+	}
+	if pl.CallDeadline == 0 {
+		pl.CallDeadline = DefaultCallDeadline
+	}
+	pl.Brownouts = append([]Window(nil), pl.Brownouts...)
+	pl.Crashes = append([]Crash(nil), pl.Crashes...)
+	return pl, nil
+}
+
 // crashState tracks one scheduled crash through the run.
 type crashState struct {
 	crash   Crash
@@ -151,31 +178,28 @@ const (
 // contains a usable crash — the kernel's death watchdog. Attach must
 // run before the engine does (crash times are absolute cycles).
 func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
-	if err := plan.Validate(); err != nil {
+	plan, err := plan.normalized()
+	if err != nil {
 		return nil, err
-	}
-	if plan.StallCycles == 0 {
-		plan.StallCycles = DefaultStallCycles
-	}
-	if plan.HeartbeatPeriod == 0 {
-		plan.HeartbeatPeriod = DefaultHeartbeatPeriod
-	}
-	if plan.MaxMissedBeats == 0 {
-		plan.MaxMissedBeats = DefaultMaxMissedBeats
-	}
-	if plan.CallDeadline == 0 {
-		plan.CallDeadline = DefaultCallDeadline
 	}
 	inj := &Injector{plan: plan, kern: kern}
 	plat := kern.Plat
 
 	if plan.DropRate > 0 || plan.CorruptRate > 0 {
-		// One draw per hop decides both fault kinds, so the two rates
-		// consume the stream at a packet-independent pace.
-		rng := sim.NewRand(plan.Seed ^ saltLink)
+		// One draw per hop decides both fault kinds. The draw is
+		// stateless — a hash of the hop's own identity (link, sequence
+		// number, cycle) rather than the next value of a stream shared
+		// by every PE's send path — so a hop's verdict never depends on
+		// which other PEs transmitted before it. That keeps the fault
+		// schedule well-defined under the planned parallel scheduler
+		// (the old shared stream is exactly what m3vet's sharedstate
+		// pass flags) and gives retransmissions of the same sequence
+		// number fresh draws (they traverse at a later cycle).
 		drop, corrupt := plan.DropRate, plan.CorruptRate
+		seed := plan.Seed ^ saltLink
+		eng := plat.Eng
 		plat.Net.SetFaultHook(func(from, to noc.NodeID, pkt *noc.Packet) noc.LinkFault {
-			v := rng.Float64()
+			v := sim.Unit(sim.Hash(seed, uint64(from), uint64(to), pkt.Seq, uint64(eng.Now())))
 			if v < drop {
 				return noc.LinkDrop
 			}
@@ -186,18 +210,13 @@ func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
 		})
 	}
 
-	fc := &dtu.FaultConfig{Timeout: plan.Timeout, MaxRetries: plan.MaxRetries}
-	if plan.StallRate > 0 {
-		rng := sim.NewRand(plan.Seed ^ saltStall)
-		rate, stall := plan.StallRate, plan.StallCycles
-		fc.PreSend = func(p *sim.Process) {
-			if rng.Float64() < rate {
-				p.Sleep(stall)
-			}
-		}
-	}
+	// Each PE gets its own fault configuration with its own stall
+	// stream, salted by node id: transfer-engine stalls are per-PE
+	// hardware behavior, and a stream shared across PEs would couple
+	// one PE's stall schedule to every other PE's send count.
+	base := dtu.FaultConfig{Timeout: plan.Timeout, MaxRetries: plan.MaxRetries}
 	if len(plan.Brownouts) > 0 {
-		windows := append([]Window(nil), plan.Brownouts...)
+		windows := plan.Brownouts
 		plat.DRAM.SetFaultDelay(func(now sim.Time) sim.Time {
 			var extra sim.Time
 			for _, w := range windows {
@@ -230,12 +249,22 @@ func Attach(kern *core.Kernel, plan Plan) (*Injector, error) {
 		// call into them. Without one nothing can wedge, and arming a
 		// deadline would schedule timer events a fault-free-equivalent
 		// run does not have.
-		fc.CallDeadline = plan.CallDeadline
+		base.CallDeadline = plan.CallDeadline
 		kern.SetServiceCallDeadline(plan.CallDeadline)
 		kern.EnableDeathWatch(plan.HeartbeatPeriod, plan.MaxMissedBeats, inj.watchActive)
 	}
 	for _, pe := range plat.PEs {
-		pe.DTU.EnableFaults(fc)
+		fc := base
+		if plan.StallRate > 0 {
+			rng := sim.NewRand(sim.Hash(plan.Seed^saltStall, uint64(pe.ID)))
+			rate, stall := plan.StallRate, plan.StallCycles
+			fc.PreSend = func(p *sim.Process) {
+				if rng.Float64() < rate {
+					p.Sleep(stall)
+				}
+			}
+		}
+		pe.DTU.EnableFaults(&fc)
 	}
 	return inj, nil
 }

@@ -102,3 +102,46 @@ func TestDecodePlanShortInput(t *testing.T) {
 		t.Fatalf("short input weakened reliability floor: %+v", p)
 	}
 }
+
+// The injector must own its plan: normalized() reheads the Brownouts
+// and Crashes slices onto private arrays, so mutating the caller's
+// slices after Attach cannot rewrite an armed schedule. (Regression
+// test for an aliasing bug found by m3vet's sharedstate triage: the
+// injector used to retain the caller's backing arrays.)
+func TestNormalizedCopiesSlices(t *testing.T) {
+	orig := Plan{
+		Seed:      1,
+		Brownouts: []Window{{Start: 10, End: 20, ExtraLatency: 5}},
+		Crashes:   []Crash{{PE: 2, At: 1000}},
+	}
+	norm, err := orig.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Brownouts[0] = Window{Start: 999, End: 9999, ExtraLatency: 1}
+	orig.Crashes[0] = Crash{PE: 3, At: 1}
+	if norm.Brownouts[0] != (Window{Start: 10, End: 20, ExtraLatency: 5}) {
+		t.Fatalf("brownout window aliased: %+v", norm.Brownouts[0])
+	}
+	if norm.Crashes[0] != (Crash{PE: 2, At: 1000}) {
+		t.Fatalf("crash aliased: %+v", norm.Crashes[0])
+	}
+}
+
+// normalized must fill every zero-valued knob with its package default
+// and reject invalid plans outright.
+func TestNormalizedDefaults(t *testing.T) {
+	norm, err := Plan{Seed: 1}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.StallCycles != DefaultStallCycles ||
+		norm.HeartbeatPeriod != DefaultHeartbeatPeriod ||
+		norm.MaxMissedBeats != DefaultMaxMissedBeats ||
+		norm.CallDeadline != DefaultCallDeadline {
+		t.Fatalf("defaults not filled: %+v", norm)
+	}
+	if _, err := (Plan{DropRate: 2}).normalized(); err == nil {
+		t.Fatal("invalid plan normalized without error")
+	}
+}

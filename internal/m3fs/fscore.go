@@ -13,6 +13,7 @@ package m3fs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -389,10 +390,21 @@ func (fs *FsCore) FindExtent(ino *Inode, off int64) (ext Extent, extOff, extLen 
 // bounds, no two extents overlapping, bitmap consistent with extents.
 // Used by property tests ("fsck").
 func (fs *FsCore) CheckInvariants() error {
+	// Iterate inodes in number order: on an inconsistent image the
+	// error text names the first offending inode, and that choice must
+	// not depend on Go's randomized map order — the message flows into
+	// service replies and from there into the deterministic trace.
+	// (m3vet's timetaint pass caught the previous map-range version.)
+	nums := make([]uint64, 0, len(fs.inodes))
+	for n := range fs.inodes {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+
 	seen := make(map[int]uint64)
 	total := 0
-	//m3vet:allow nodeterminism validation only accumulates commutative counts; on a consistent image the verdict is order-independent
-	for _, ino := range fs.inodes {
+	for _, n := range nums {
+		ino := fs.inodes[n]
 		alloc := 0
 		for _, e := range ino.Extents {
 			if e.Start < 0 || e.Blocks <= 0 || e.Start+e.Blocks > fs.TotalBlocks {
@@ -427,8 +439,8 @@ func (fs *FsCore) CheckInvariants() error {
 			refs[child]++
 		}
 	}
-	//m3vet:allow nodeterminism per-inode nlink check; the verdict is order-independent on a consistent image
-	for n, ino := range fs.inodes {
+	for _, n := range nums {
+		ino := fs.inodes[n]
 		want := refs[n]
 		if ino == fs.root {
 			want++

@@ -21,16 +21,36 @@ func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 // Number Generators").
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+	return mix64(r.state)
+}
+
+// mix64 is splitmix64's output finalizer.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-// Float64 returns a uniform float64 in [0, 1).
-func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+// Hash folds the given words into one 64-bit value with the same
+// splitmix64 finalizer Uint64 uses. It is the stateless companion to a
+// Rand stream: where a stream's next value depends on how many draws
+// came before it (shared mutable position), a hash of an event's own
+// identity — seed, link, sequence number, cycle — yields the same
+// value no matter who else drew in between. Fault hooks that may one
+// day run under a parallel scheduler use this form.
+func Hash(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = mix64(h ^ w)
+	}
+	return h
 }
+
+// Unit maps 64 random bits onto a uniform float64 in [0, 1).
+func Unit(bits uint64) float64 { return float64(bits>>11) / (1 << 53) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return Unit(r.Uint64()) }
 
 // Intn returns a uniform int in [0, n). n must be positive. The tiny
 // modulo bias is irrelevant for fault schedules.
