@@ -32,16 +32,17 @@ bench:
 
 # The bench regression gate: rerun the fast experiment subset, keep the
 # JSON artifact for inspection, and fail if any gated metric regressed
-# past its tolerance against the committed baseline (BENCH_0.json,
+# past its tolerance against the committed baseline (BENCH_1.json,
 # refresh with `make bench-baseline` when a change legitimately moves
-# the numbers — see docs/EXPERIMENTS.md).
+# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json is the previous
+# generation's baseline, kept for historical comparison.
 bench-smoke:
 	mkdir -p artifacts
 	go run ./cmd/m3bench -e smoke -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
-	go run ./cmd/m3bench -diff BENCH_0.json artifacts/bench-smoke.json
+	go run ./cmd/m3bench -diff BENCH_1.json artifacts/bench-smoke.json
 
 bench-baseline:
-	go run ./cmd/m3bench -e smoke -json BENCH_0.json
+	go run ./cmd/m3bench -e smoke -json BENCH_1.json
 
 # The chaos tier: determinism under fault injection plus the workload
 # matrix that proves isolation survives packet loss, PE crashes, and —
@@ -51,10 +52,13 @@ bench-baseline:
 chaos:
 	go test -race -run 'TestFaultDeterminism|TestChaosMatrix|TestObsChaosStreamDeterministic|TestFlightDump' ./internal/bench
 
-# Short fuzz smoke over the two crash-facing decoders: the fault-plan
-# parser and the m3fs metadata journal (the full fuzzers run for as
-# long as you let them: go test -fuzz FuzzFaultPlan ./internal/fault,
-# go test -fuzz FuzzJournal ./internal/m3fs).
+# Short fuzz smoke over the crash-facing decoders — the fault-plan
+# parser and the m3fs metadata journal — plus the event-queue
+# cross-check (calendar vs reference heap pop order). The full fuzzers
+# run for as long as you let them: go test -fuzz FuzzFaultPlan
+# ./internal/fault, go test -fuzz FuzzJournal ./internal/m3fs,
+# go test -fuzz FuzzEventQueue ./internal/sim.
 fuzz:
 	go test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/fault
 	go test -run '^$$' -fuzz FuzzJournal -fuzztime 10s ./internal/m3fs
+	go test -run '^$$' -fuzz FuzzEventQueue -fuzztime 10s ./internal/sim

@@ -10,13 +10,16 @@
 #              as artifacts/sharedstate.json — the parallel-DES
 #              work-list (see docs/ANALYSIS.md)
 #   tests      the full suite under the race detector — any data race
-#              would mean the sim's strict goroutine hand-off is broken
+#              would mean the sim's strict goroutine hand-off (or the
+#              parallel engine's barrier discipline) is broken — with
+#              shuffled test order, so no test can silently depend on
+#              a sibling running first
 #   chaos      the fault-injection tier: determinism under faults, the
 #              isolation-survives-failure matrix, and service crash
 #              recovery (docs/FAULTS.md, docs/RECOVERY.md)
 #   fuzz       a short smoke over the fault-plan and journal decoders
 #   bench      the bench regression gate: the smoke experiment subset
-#              diffed against the committed BENCH_0.json baseline; the
+#              diffed against the committed BENCH_1.json baseline; the
 #              JSON artifact is kept under artifacts/ for inspection
 #              (docs/EXPERIMENTS.md)
 set -eux
@@ -24,7 +27,7 @@ set -eux
 go build ./...
 go vet ./...
 go run ./cmd/m3vet -json artifacts/sharedstate.json ./...
-go test -race ./...
+go test -race -shuffle=on ./...
 make chaos
 make fuzz
 make bench-smoke

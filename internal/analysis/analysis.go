@@ -137,6 +137,7 @@ func (p *ModulePass) Report(pos token.Position, key, message string, chain []Fac
 func AllModule() []*ModuleAnalyzer {
 	return []*ModuleAnalyzer{
 		SharedState,
+		ParSafe,
 		TimeTaint,
 		CapFlow,
 	}
@@ -296,9 +297,21 @@ func CheckModule(dir string, analyzers []*Analyzer, mods []*ModuleAnalyzer) (*Mo
 // checkPackages is the load-free core of CheckModule, shared with the
 // overlay-fixture tests.
 func checkPackages(pkgs []*Package, analyzers []*Analyzer, mods []*ModuleAnalyzer) (*ModuleResult, error) {
-	extraKnown := make([]string, 0, len(mods))
-	for _, m := range mods {
+	// Module-rule names are always legal in //m3vet:allow comments —
+	// including in fast mode, when the module passes themselves are
+	// skipped — so an allow for (say) timetaint does not flip between
+	// "valid" and "unknown rule" depending on how m3vet was invoked.
+	extraSet := make(map[string]bool)
+	var extraKnown []string
+	for _, m := range AllModule() {
+		extraSet[m.Name] = true
 		extraKnown = append(extraKnown, m.Name)
+	}
+	for _, m := range mods {
+		if !extraSet[m.Name] {
+			extraSet[m.Name] = true
+			extraKnown = append(extraKnown, m.Name)
+		}
 	}
 	res := &ModuleResult{}
 	for _, pkg := range pkgs {
@@ -308,6 +321,11 @@ func checkPackages(pkgs []*Package, analyzers []*Analyzer, mods []*ModuleAnalyze
 		graph := BuildCallGraph(pkgs)
 		sums := Summarize(graph)
 		res.Inventory = BuildInventory(graph, sums)
+		// Stamp //m3vet:resolve annotations onto the inventory before
+		// the module passes run: sharedstate skips resolved entries,
+		// parsafe checks shard resolutions. Malformed or stale resolve
+		// comments surface as (unkeyed, unbaselineable) diagnostics.
+		res.Diagnostics = append(res.Diagnostics, applyResolutions(pkgs, res.Inventory)...)
 		// Line-level allow comments apply to module findings too; a
 		// baseline file handles the accepted inventory wholesale.
 		allKnown := make(map[string]bool)

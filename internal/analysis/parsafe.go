@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// ParSafe checks the parallel engine's barrier discipline statically:
+// code running inside a *shard context* — a noc.ShardHandler.DeliverShard
+// implementation or a callback handed to ScheduleShard — executes
+// concurrently with other shards between barriers, so the only shared
+// locations it may write are the ones whose //m3vet:resolve annotation
+// argues per-shard partitioning ("shard"). A write to anything else —
+// an unresolved inventory entry, or one resolved as "owner" or
+// "message" — is exactly the bug the conservative engine's act replay
+// exists to prevent: the write must move behind the barrier (sc.Defer)
+// or the resolution is wrong. See docs/PARALLEL.md.
+//
+// The pass cannot reuse the fixpoint summaries directly: ShardCtx's
+// hand-off methods (Defer, Schedule, ScheduleShard, Emit) invoke their
+// callback inline under a serial engine, so the call graph
+// conservatively gives them edges to every compatible closure in the
+// module — but under the parallel engine, the only engine where shard
+// contexts run concurrently, those callbacks execute serially at the
+// batch barrier. parsafe therefore walks the call graph itself,
+// counting each reached function's *direct* writes and stopping at the
+// hand-off methods (their own act-log writes still count; their
+// callbacks do not).
+var ParSafe = &ModuleAnalyzer{
+	Name: "parsafe",
+	Doc:  "shard-context code may only write shared state resolved as per-shard",
+	Run:  runParSafe,
+}
+
+// shardContextHows are the entry-context kinds that run concurrently
+// under the parallel engine.
+var shardContextHows = map[string]bool{
+	"noc.ShardHandler":  true,
+	"sim.ScheduleShard": true,
+}
+
+func runParSafe(pass *ModulePass) {
+	byKey := make(map[string]*InventoryEntry, len(pass.Inventory))
+	for i := range pass.Inventory {
+		byKey[pass.Inventory[i].Key] = &pass.Inventory[i]
+	}
+	for _, ctx := range FindEntryContexts(pass.Graph) {
+		if !shardContextHows[ctx.how] {
+			continue
+		}
+		reach := shardReachable(ctx.node)
+		pos := ctx.node.Pkg.Fset.Position(ctx.node.Pos())
+		for _, n := range reach.order {
+			sum := pass.Summaries.ByNode[n]
+			if sum == nil {
+				continue
+			}
+			locs := make([]Loc, 0, len(sum.Writes))
+			for loc, e := range sum.Writes {
+				// via != nil entries arrived through a callee's summary;
+				// the callee is (or will be) visited itself, and barrier
+				// hand-offs must not leak through.
+				if e.via == nil && simLoc(loc) {
+					locs = append(locs, loc)
+				}
+			}
+			SortLocs(locs)
+			for _, loc := range locs {
+				key := loc.String()
+				e := byKey[key]
+				if e == nil || !e.Shared || e.Resolution == "shard" {
+					continue
+				}
+				if reach.flagged[key] {
+					continue // one finding per (context, location)
+				}
+				reach.flagged[key] = true
+				how := "has no //m3vet:resolve annotation"
+				if e.Resolution != "" {
+					how = fmt.Sprintf("is resolved %q", e.Resolution)
+				}
+				pass.Report(pos, fmt.Sprintf("%s@%s", key, ctx.node.Name()),
+					fmt.Sprintf("shard context %s (%s) writes shared %s %s, which %s: defer the write to the barrier or resolve the location as \"shard\"",
+						ctx.node.Name(), ctx.how, e.Kind, key, how),
+					reach.chain(pass, n, loc))
+			}
+		}
+	}
+}
+
+// shardReach is the barrier-bounded reachability set of one shard
+// context: every function its inline execution can reach, with parent
+// pointers for witness chains.
+type shardReach struct {
+	root    *FuncNode
+	parent  map[*FuncNode]*FuncNode
+	order   []*FuncNode
+	flagged map[string]bool
+}
+
+// shardReachable walks call edges from root in deterministic (source)
+// order, stopping at barrier hand-off methods: their callbacks run
+// serially at the batch barrier, not inside the shard context.
+func shardReachable(root *FuncNode) *shardReach {
+	r := &shardReach{
+		root:    root,
+		parent:  map[*FuncNode]*FuncNode{root: nil},
+		flagged: make(map[string]bool),
+	}
+	var visit func(n *FuncNode)
+	visit = func(n *FuncNode) {
+		r.order = append(r.order, n)
+		if isBarrierHandOff(n) {
+			return
+		}
+		for _, c := range n.Calls {
+			if _, seen := r.parent[c]; !seen {
+				r.parent[c] = n
+				visit(c)
+			}
+		}
+	}
+	visit(root)
+	return r
+}
+
+// isBarrierHandOff reports whether n is one of ShardCtx's act-recording
+// methods. Their immediate-mode branches invoke the callback inline,
+// but immediate mode only exists under serial engines, where no code
+// runs concurrently in the first place.
+func isBarrierHandOff(n *FuncNode) bool {
+	if n.Obj == nil || n.Pkg.Path != simEnginePath {
+		return false
+	}
+	recv := n.Sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "ShardCtx" {
+		return false
+	}
+	switch n.Obj.Name() {
+	case "Defer", "Schedule", "ScheduleShard", "Emit":
+		return true
+	}
+	return false
+}
+
+// chain reconstructs the witness: root calls ... calls n, n accesses
+// loc.
+func (r *shardReach) chain(pass *ModulePass, n *FuncNode, loc Loc) []Fact {
+	var path []*FuncNode
+	for cur := n; cur != nil; cur = r.parent[cur] {
+		path = append(path, cur)
+	}
+	var facts []Fact
+	for i := len(path) - 1; i > 0; i-- {
+		caller, callee := path[i], path[i-1]
+		facts = append(facts, Fact{
+			Pos:  caller.Pkg.Fset.Position(caller.Pos()),
+			Note: fmt.Sprintf("%s calls %s", caller.Name(), callee.Name()),
+		})
+	}
+	accessPos := n.Pkg.Fset.Position(n.Pos())
+	if sum := pass.Summaries.ByNode[n]; sum != nil {
+		if e, ok := sum.Writes[loc]; ok && e.via == nil {
+			accessPos = n.Pkg.Fset.Position(e.pos)
+		}
+	}
+	facts = append(facts, Fact{
+		Pos:  accessPos,
+		Note: fmt.Sprintf("%s accesses %s", n.Name(), loc),
+	})
+	return facts
+}

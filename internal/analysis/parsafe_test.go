@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// shardFixture models the parallel engine's shapes: a noc.ShardHandler
+// implementation and a ScheduleShard callback (both shard contexts),
+// plus a serial engine callback, touching four locations that cover the
+// resolve/parsafe matrix — resolved "shard" (legal shard write),
+// resolved "owner" reached through a helper (illegal shard write),
+// a write deferred through the barrier hand-off (legal), and an
+// unresolved location (illegal, and still a sharedstate finding).
+var shardFixture = map[string]map[string]string{
+	"repro/internal/sim": {"sim.go": `package sim
+
+type Engine struct{}
+
+func (e *Engine) Schedule(at int, fn func()) { fn() }
+
+// ShardCtx mirrors the real engine's shard context: the barrier
+// hand-off invokes its callback inline in immediate (serial) mode,
+// which is exactly the call edge parsafe must not follow.
+type ShardCtx struct{ immediate bool }
+
+func (sc *ShardCtx) Defer(fn func()) {
+	if sc.immediate {
+		fn()
+	}
+}
+
+func ScheduleShard(shard int, fn func(sc *ShardCtx)) {
+	fn(&ShardCtx{immediate: true})
+}
+`},
+	"repro/internal/noc": {"noc.go": `package noc
+
+import "repro/internal/sim"
+
+type Packet struct{}
+
+type ShardHandler interface {
+	DeliverShard(p *Packet, sc *sim.ShardCtx)
+}
+
+//m3vet:resolve sharedstate shard each shard counts its own deliveries
+var PerShard int
+
+//m3vet:resolve sharedstate owner only barrier code bumps this
+var OwnerOnly int
+
+//m3vet:resolve sharedstate owner drained at the barrier
+var Deferred int
+
+var Unresolved int
+`},
+	"repro/internal/dtu": {"dtu.go": `package dtu
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+type D struct{}
+
+func (d *D) DeliverShard(p *noc.Packet, sc *sim.ShardCtx) {
+	noc.PerShard++
+	bumpOwner()
+	sc.Defer(func() { noc.Deferred++ })
+}
+
+func bumpOwner() { noc.OwnerOnly++ }
+`},
+	"repro/internal/core": {"core.go": `package core
+
+import (
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func Boot(e *sim.Engine) {
+	e.Schedule(1, func() {
+		noc.PerShard++
+		noc.OwnerOnly++
+		noc.Deferred++
+		noc.Unresolved++
+	})
+	sim.ScheduleShard(0, func(sc *sim.ShardCtx) {
+		noc.Unresolved++
+	})
+}
+`},
+}
+
+func findDiag(diags []Diagnostic, substr string) *Diagnostic {
+	for i := range diags {
+		if strings.Contains(diags[i].Key, substr) {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+func TestParSafeFlagsShardWritesToNonShardState(t *testing.T) {
+	res := runModuleOn(t, shardFixture)
+	diags := diagsOf(res, "parsafe")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 parsafe findings, got %d:\n%s", len(diags), diagText(diags))
+	}
+
+	// The DeliverShard implementation reaches OwnerOnly through a
+	// helper; the resolution says "owner", so the shard write is a lie.
+	owner := findDiag(diags, "noc.OwnerOnly@")
+	if owner == nil {
+		t.Fatalf("no finding for OwnerOnly:\n%s", diagText(diags))
+	}
+	if !strings.Contains(owner.Key, "(D).DeliverShard") {
+		t.Errorf("OwnerOnly finding should name the handler context: %q", owner.Key)
+	}
+	if !strings.Contains(owner.Message, `is resolved "owner"`) {
+		t.Errorf("message should quote the conflicting resolution: %q", owner.Message)
+	}
+	var haveHop bool
+	for _, f := range owner.Chain {
+		if strings.Contains(f.Note, "bumpOwner") {
+			haveHop = true
+		}
+	}
+	if !haveHop {
+		t.Errorf("witness should pass through bumpOwner: %v", owner.Chain)
+	}
+
+	// The ScheduleShard callback writes a location with no resolve
+	// annotation at all.
+	unres := findDiag(diags, "noc.Unresolved@")
+	if unres == nil {
+		t.Fatalf("no finding for Unresolved:\n%s", diagText(diags))
+	}
+	if !strings.Contains(unres.Key, "Boot$lit") {
+		t.Errorf("Unresolved finding should name the ScheduleShard callback: %q", unres.Key)
+	}
+	if !strings.Contains(unres.Message, "no //m3vet:resolve annotation") {
+		t.Errorf("message should say the entry is unresolved: %q", unres.Message)
+	}
+}
+
+func TestParSafePermitsShardResolvedAndDeferredWrites(t *testing.T) {
+	res := runModuleOn(t, shardFixture)
+	for _, d := range diagsOf(res, "parsafe") {
+		// PerShard is resolved "shard": the shard write is the point.
+		if strings.Contains(d.Key, "PerShard") {
+			t.Errorf("shard-resolved location flagged: %s", d)
+		}
+		// Deferred is written only inside sc.Defer's callback, which
+		// runs at the barrier — parsafe must not follow the hand-off's
+		// inline (immediate-mode) invocation edge.
+		if strings.Contains(d.Key, "Deferred") {
+			t.Errorf("barrier-deferred write flagged: %s", d)
+		}
+	}
+}

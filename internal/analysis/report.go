@@ -36,15 +36,21 @@ type JSONFinding struct {
 
 // JSONInventoryEntry is one serialized shared-state inventory row.
 type JSONInventoryEntry struct {
-	Key     string     `json:"key"`
-	Kind    string     `json:"kind"`
-	Type    string     `json:"type"`
-	File    string     `json:"file"`
-	Line    int        `json:"line"`
-	Shared  bool       `json:"shared"`
-	Writers []string   `json:"writers"`
-	Readers []string   `json:"readers"`
-	Witness []JSONFact `json:"witness,omitempty"`
+	Key     string   `json:"key"`
+	Kind    string   `json:"kind"`
+	Type    string   `json:"type"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Shared  bool     `json:"shared"`
+	Writers []string `json:"writers"`
+	Readers []string `json:"readers"`
+	// Resolution and ResolutionNote mirror the //m3vet:resolve
+	// annotation on the declaration: how the location is safe under the
+	// parallel engine (owner/shard/message) and why. Empty while the
+	// entry is still open work-list debt.
+	Resolution     string     `json:"resolution,omitempty"`
+	ResolutionNote string     `json:"resolution_note,omitempty"`
+	Witness        []JSONFact `json:"witness,omitempty"`
 }
 
 // JSONReport is the full `m3vet -json` document.
@@ -100,14 +106,16 @@ func BuildReport(root string, diags []Diagnostic, inventory []InventoryEntry, su
 	}
 	for _, e := range inventory {
 		row := JSONInventoryEntry{
-			Key:     e.Key,
-			Kind:    e.Kind,
-			Type:    e.Type,
-			File:    relPath(root, e.Pos.Pos.Filename),
-			Line:    e.Pos.Pos.Line,
-			Shared:  e.Shared,
-			Writers: e.Writers,
-			Readers: e.Readers,
+			Key:            e.Key,
+			Kind:           e.Kind,
+			Type:           e.Type,
+			File:           relPath(root, e.Pos.Pos.Filename),
+			Line:           e.Pos.Pos.Line,
+			Shared:         e.Shared,
+			Writers:        e.Writers,
+			Readers:        e.Readers,
+			Resolution:     e.Resolution,
+			ResolutionNote: e.ResolutionNote,
 		}
 		for _, step := range e.WriteWitness {
 			row.Witness = append(row.Witness, jsonFact(root, step))

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveStampsInventory(t *testing.T) {
+	res := runModuleOn(t, shardFixture)
+	rows := make(map[string]InventoryEntry)
+	for _, e := range res.Inventory {
+		rows[e.Key] = e
+	}
+	want := map[string]string{
+		"repro/internal/noc.PerShard":   "shard",
+		"repro/internal/noc.OwnerOnly":  "owner",
+		"repro/internal/noc.Deferred":   "owner",
+		"repro/internal/noc.Unresolved": "",
+	}
+	for key, kind := range want {
+		e, ok := rows[key]
+		if !ok {
+			t.Errorf("no inventory row for %s", key)
+			continue
+		}
+		if e.Resolution != kind {
+			t.Errorf("%s resolution = %q, want %q", key, e.Resolution, kind)
+		}
+		if kind != "" && e.ResolutionNote == "" {
+			t.Errorf("%s has no resolution note", key)
+		}
+	}
+}
+
+func TestResolveRetiresSharedStateFindings(t *testing.T) {
+	res := runModuleOn(t, shardFixture)
+	diags := diagsOf(res, "sharedstate")
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 sharedstate finding (the unresolved entry), got %d:\n%s",
+			len(diags), diagText(diags))
+	}
+	if diags[0].Key != "sharedstate:repro/internal/noc.Unresolved" {
+		t.Errorf("surviving finding = %q, want the unresolved location", diags[0].Key)
+	}
+}
+
+// badResolveFixture holds every way a resolve comment can be wrong:
+// too few fields, a rule other than sharedstate, an unknown resolution
+// kind, and a well-formed comment on a declaration the inventory does
+// not contain (stale).
+var badResolveFixture = map[string]map[string]string{
+	"repro/internal/noc": {"noc.go": `package noc
+
+//m3vet:resolve sharedstate
+var A int
+
+//m3vet:resolve timetaint owner wrong rule entirely
+var B int
+
+//m3vet:resolve sharedstate banana unknown kind
+var C int
+
+//m3vet:resolve sharedstate owner nothing inventories this
+var D int
+`},
+}
+
+func TestResolveMalformedAndStaleComments(t *testing.T) {
+	res := runModuleOn(t, badResolveFixture)
+	diags := diagsOf(res, "m3vet")
+	if len(diags) != 4 {
+		t.Fatalf("want 4 diagnostics, got %d:\n%s", len(diags), diagText(diags))
+	}
+	wants := []string{
+		"malformed resolve comment",
+		`names rule "timetaint"`,
+		`unknown resolution "banana"`,
+		"matches no inventoried shared-state declaration",
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q:\n%s", w, diagText(diags))
+		}
+	}
+	// None of these carry a rule:key identity, so none can be baselined
+	// away: a lying annotation must always fail CI.
+	for _, d := range diags {
+		if d.Key != "" {
+			t.Errorf("diagnostic %s is baselineable (key %q)", d, d.Key)
+		}
+	}
+}

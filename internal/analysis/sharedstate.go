@@ -31,15 +31,19 @@ var SharedState = &ModuleAnalyzer{
 // entryContext pairs an entry-point function with how it becomes one.
 type entryContext struct {
 	node *FuncNode
-	how  string // "noc.Handler", "sim.Schedule", "sim.Spawn", "tile.Start"
+	how  string // "noc.Handler", "noc.ShardHandler", "sim.Schedule", "sim.ScheduleShard", "sim.Spawn", "tile.Start"
 }
 
 // spawnSites maps (package path, method name) of the functions whose
-// func-typed arguments become entry contexts.
+// func-typed arguments become entry contexts. ScheduleShard callbacks
+// are additionally *shard* contexts: they run concurrently between
+// barriers under the parallel engine (the parsafe pass keys off the
+// how string).
 var spawnSites = map[[2]string]string{
-	{"repro/internal/sim", "Schedule"}: "sim.Schedule",
-	{"repro/internal/sim", "Spawn"}:    "sim.Spawn",
-	{"repro/internal/tile", "Start"}:   "tile.Start",
+	{"repro/internal/sim", "Schedule"}:      "sim.Schedule",
+	{"repro/internal/sim", "ScheduleShard"}: "sim.ScheduleShard",
+	{"repro/internal/sim", "Spawn"}:         "sim.Spawn",
+	{"repro/internal/tile", "Start"}:        "tile.Start",
 }
 
 // FindEntryContexts discovers the entry contexts of the module, in
@@ -60,6 +64,17 @@ func FindEntryContexts(g *CallGraph) []entryContext {
 		if deliver != nil {
 			for _, impl := range g.implementers(iface, deliver) {
 				add(impl, "noc.Handler")
+			}
+		}
+	}
+
+	// 1b. noc.ShardHandler implementations: sharded packet delivery,
+	// running concurrently between barriers under the parallel engine.
+	if iface := lookupInterface(g.pkgs, "repro/internal/noc", "ShardHandler"); iface != nil {
+		deliver := lookupMethod(iface, "DeliverShard")
+		if deliver != nil {
+			for _, impl := range g.implementers(iface, deliver) {
+				add(impl, "noc.ShardHandler")
 			}
 		}
 	}
@@ -167,6 +182,15 @@ type InventoryEntry struct {
 	// Shared marks locations written by one context and touched by at
 	// least one other: the synchronization work-list.
 	Shared bool
+	// Resolution is the synchronization argument recorded by a
+	// //m3vet:resolve comment on the declaration ("owner", "shard" or
+	// "message" — see resolve.go), or "" while the entry is still open
+	// work-list debt. Resolved entries stop producing sharedstate
+	// findings; "shard" is additionally what licenses a write from a
+	// shard context (the parsafe pass).
+	Resolution string
+	// ResolutionNote is the resolve comment's mandatory reason.
+	ResolutionNote string
 	// WriteWitness is one interprocedural chain from a writing entry
 	// context to the mutating statement.
 	WriteWitness []Fact
@@ -281,6 +305,12 @@ func positionOf(g *CallGraph, v *types.Var) token.Position {
 func runSharedState(pass *ModulePass) {
 	for _, entry := range pass.Inventory {
 		if !entry.Shared {
+			continue
+		}
+		// A //m3vet:resolve annotation retires the entry from the
+		// work-list: the synchronization plan it demanded now exists and
+		// is recorded (and, for shard resolutions, checked by parsafe).
+		if entry.Resolution != "" {
 			continue
 		}
 		writers := summarizeNames(entry.Writers)

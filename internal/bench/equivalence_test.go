@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// differentialPlan is the fault plan every differential run uses: a
+// lossy, corrupting NoC. It exercises retransmission, NACKs, and the
+// asynchronous control traffic that rides the parallel engine's
+// sharded delivery path — the lossless model never sends an async
+// packet.
+func differentialPlan() fault.Plan {
+	return fault.Plan{Seed: chaosSeed, DropRate: 0.01, CorruptRate: 0.002}
+}
+
+// TestEngineEquivalence is the headline differential test: every
+// tier-1 workload runs under the heap queue, the calendar queue, and
+// the parallel engine at 2, 4, and 8 workers, and every observable
+// byte — engine statistics, legacy trace, structured event stream,
+// metrics snapshot, per-instance outcomes — must be identical across
+// the whole matrix.
+func TestEngineEquivalence(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			variants := EngineVariants()
+			ref, err := RunDifferential(b, 2, differentialPlan(), variants[0].Cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", variants[0].Name, err)
+			}
+			if ref.Stats.ExecutedEvents == 0 || ref.ObsEvents == 0 || ref.LegacyHash == 0 {
+				t.Fatalf("%s: empty witness, harness broken: %v", variants[0].Name, ref)
+			}
+			for _, v := range variants[1:] {
+				w, err := RunDifferential(b, 2, differentialPlan(), v.Cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", v.Name, err)
+				}
+				if w != ref {
+					t.Errorf("%s diverges from %s:\n  ref: %v\n  got: %v",
+						v.Name, variants[0].Name, ref, w)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceNoFault: the matrix must also agree on a
+// lossless run (no async control traffic at all), catching a parallel
+// engine that only works when the fault layer perturbs timing.
+func TestEngineEquivalenceNoFault(t *testing.T) {
+	b, err := workload.ByName("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := EngineVariants()
+	ref, err := RunDifferential(b, 2, fault.Plan{Seed: chaosSeed}, variants[0].Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		w, err := RunDifferential(b, 2, fault.Plan{Seed: chaosSeed}, v.Cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if w != ref {
+			t.Errorf("%s diverges from %s:\n  ref: %v\n  got: %v", v.Name, variants[0].Name, ref, w)
+		}
+	}
+}
+
+// TestDifferentialRunIsDeterministic: one configuration, run twice,
+// must witness-match itself — the precondition for cross-engine
+// comparison to mean anything.
+func TestDifferentialRunIsDeterministic(t *testing.T) {
+	b, err := workload.ByName("cat+tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Workers: 4}
+	a, err := RunDifferential(b, 2, differentialPlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunDifferential(b, 2, differentialPlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Fatalf("parallel-4 not self-deterministic:\n  1st: %v\n  2nd: %v", a, c)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -56,7 +57,10 @@ type BenchExperiment struct {
 
 // BenchFile is the serialized bench run. It deliberately carries no
 // wall-clock timestamps, host names, or toolchain strings: two runs of
-// the same tree must produce byte-identical files.
+// the same tree produce byte-identical files — with one flagged
+// exception, the witness's events-per-wall-second throughput metric,
+// which is host-dependent by design and rides in an "info" metric so
+// -diff reports it but never gates on it.
 type BenchFile struct {
 	Schema      int               `json:"schema"`
 	Experiments []BenchExperiment `json:"experiments"`
@@ -178,9 +182,20 @@ func RunWitness() (BenchExperiment, error) {
 			fmt.Fprintf(legacyHash, "%d %s %s\n", at, source, event)
 		},
 	}
+	wallStart := time.Now() //m3vet:allow timetaint events/sec throughput is wall-clock by definition; "info" unit keeps it out of the diff gate
 	_, st, err := RunM3Stats(b, opt)
+	wall := time.Since(wallStart)
 	if err != nil {
 		return exp, err
+	}
+	// Simulator throughput: executed events per second of host wall
+	// clock. This is the optimization target of the calendar-queue and
+	// pooled-allocation work; recording it in every bench file makes
+	// engine-speed regressions visible in the -diff notes without ever
+	// failing CI on a slow machine.
+	eventsPerSec := 0.0
+	if wall > 0 {
+		eventsPerSec = float64(st.ExecutedEvents) / wall.Seconds()
 	}
 	snapHash := fnv.New64a()
 	snapHash.Write([]byte(tr.Metrics().Snapshot()))
@@ -188,6 +203,7 @@ func RunWitness() (BenchExperiment, error) {
 		{Name: "witness/executed_events", Value: float64(st.ExecutedEvents), Unit: "info"},
 		{Name: "witness/final_time", Value: float64(st.FinalTime), Unit: "info"},
 		{Name: "witness/obs_events", Value: float64(events), Unit: "info"},
+		{Name: "witness/events_per_sec_wall", Value: eventsPerSec, Unit: "info"},
 		{Name: "witness/obs_stream_hash", Unit: "info", Info: fmt.Sprintf("%016x", obsHash.Sum64())},
 		{Name: "witness/legacy_trace_hash", Unit: "info", Info: fmt.Sprintf("%016x", legacyHash.Sum64())},
 		{Name: "witness/metrics_snapshot_hash", Unit: "info", Info: fmt.Sprintf("%016x", snapHash.Sum64())},

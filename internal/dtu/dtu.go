@@ -37,7 +37,9 @@ type DTU struct {
 	node noc.NodeID
 	spm  *mem.SPM
 
-	eps        []epState
+	//m3vet:resolve sharedstate owner endpoint table is configured and drained in process or serial delivery context
+	eps []epState
+	//m3vet:resolve sharedstate owner flipped only by serial config-request handling
 	privileged bool
 
 	// MsgAvail fires whenever a message or reply arrives at any receive
@@ -48,16 +50,21 @@ type DTU struct {
 	// endpoint.
 	CreditAvail *sim.Signal
 
-	nextOp  uint64
+	//m3vet:resolve sharedstate owner operation ids are minted in process context
+	nextOp uint64
+	//m3vet:resolve sharedstate owner pending-op table is mutated in process context and serial delivery
 	pending map[uint64]*pendingOp
 
 	// Reliability state, live only when faults is non-nil (see
 	// EnableFaults): outstanding acknowledged transfers by sequence
 	// number, received (sender, seq) pairs for duplicate suppression,
 	// and the core-liveness callback probes read.
-	faults     *FaultConfig
-	nextSeq    uint64
-	sends      map[uint64]*pendingSend
+	faults *FaultConfig
+	//m3vet:resolve sharedstate owner sequence numbers are minted in transmit, process context
+	nextSeq uint64
+	//m3vet:resolve sharedstate owner the send table is inserted/deleted in transmit; shard delivery only reads it (ack/nack flags are per-entry, see pendingSend)
+	sends map[uint64]*pendingSend
+	//m3vet:resolve sharedstate owner dedup set is updated in serial Deliver, which shard code reaches through sc.Defer
 	seen       map[seqKey]bool
 	coreStatus func() bool
 
@@ -65,10 +72,23 @@ type DTU struct {
 	// accesses to the local SPM and remote configuration requests.
 	reqs *sim.Queue[*noc.Packet]
 
+	// msgFree heads this DTU's message freelist. Messages are pooled
+	// conservatively: allocated here at Send/Reply, recycled only where
+	// a message is provably dead — the receive-side drop paths, where
+	// the message was never inserted into a ringbuffer and no other
+	// reference exists (the reliable layer acked and deduplicated
+	// before receive, so no retransmission resurrects the pointer).
+	// Delivered messages are never recycled: their Data legally
+	// escapes into software (kif.IStream wraps it).
+	//m3vet:resolve sharedstate owner pool head moves in newMessage (process context) and freeMessage (serial receive drops)
+	msgFree *Message
+
 	// waitingSince is the start of the core's in-progress DTU wait
 	// (valid while waiting is true), so utilization measurements see
 	// idle time that has not completed yet.
-	waiting      bool
+	//m3vet:resolve sharedstate owner wait bookkeeping is touched by the owning core's process only
+	waiting bool
+	//m3vet:resolve sharedstate owner wait bookkeeping is touched by the owning core's process only
 	waitingSince sim.Time
 
 	// obs is the structured tracer (nil-safe; see package obs) and
@@ -77,7 +97,8 @@ type DTU struct {
 	// the message or transfer is actually built. The register survives
 	// credit-denied retries because consumption happens only on the
 	// successful attempt.
-	obs     *obs.Tracer
+	obs *obs.Tracer
+	//m3vet:resolve sharedstate owner the span register is armed and consumed by the owning core's process
 	curSpan uint64
 
 	// Cached metric handles (nil-safe, inert without a tracer); the
@@ -127,6 +148,32 @@ func (d *DTU) RxQueued() int {
 		}
 	}
 	return n
+}
+
+// newMessage takes a message from the freelist (or the heap on a pool
+// miss). The returned message is zeroed except for the fields the
+// caller sets; Data is always nil — data buffers are never recycled
+// across messages, so no receiver can observe another VPE's bytes
+// through the pool.
+func (d *DTU) newMessage() *Message {
+	m := d.msgFree
+	if m == nil {
+		return &Message{}
+	}
+	d.msgFree = m.next
+	m.next = nil
+	return m
+}
+
+// freeMessage zeroes a provably dead message and returns it to the
+// pool. Pool hygiene is absolute: no stale span, reply capability
+// (replyNode/replyEP/replyLabel/creditEP), label, data, or
+// acked/replied state may survive — a leak here would hand the next
+// receiver a forged reply capability or another VPE's payload
+// (TestMessagePoolHygiene).
+func (d *DTU) freeMessage(m *Message) {
+	*m = Message{next: d.msgFree}
+	d.msgFree = m
 }
 
 // StampSpan arms the span register: the next message or RDMA transfer
@@ -258,16 +305,15 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 	if s.Credits != UnlimitedCredits {
 		s.Credits--
 	}
-	msg := &Message{
-		Label:      s.Label,
-		Data:       append([]byte(nil), data...),
-		replyNode:  d.node,
-		replyEP:    replyEP,
-		replyLabel: replyLabel,
-		creditEP:   ep,
-		Span:       d.takeSpan(),
-		sentAt:     d.eng.Now(),
-	}
+	msg := d.newMessage()
+	msg.Label = s.Label
+	msg.Data = append([]byte(nil), data...)
+	msg.replyNode = d.node
+	msg.replyEP = replyEP
+	msg.replyLabel = replyLabel
+	msg.creditEP = ep
+	msg.Span = d.takeSpan()
+	msg.sentAt = d.eng.Now()
 	d.Stats.MsgsSent++
 	if d.eng.Tracing() {
 		d.eng.Emit(d.traceName(), fmt.Sprintf("send ep%d -> node%d/ep%d (%d bytes, label %#x)",
@@ -278,10 +324,10 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 			Kind: obs.EvMsgSend, Span: obs.SpanID(msg.Span),
 			Arg0: uint64(ep), Arg1: uint64(s.Target), Arg2: uint64(len(data))})
 	}
-	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: s.Target, Size: msgWireSize(len(data)), Span: msg.Span,
-		Payload: &msgPacket{TargetEP: s.TargetEP, Msg: msg},
-	})
+	pkt := d.net.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Size, pkt.Span = d.node, s.Target, msgWireSize(len(data)), msg.Span
+	pkt.Payload = &msgPacket{TargetEP: s.TargetEP, Msg: msg}
+	return d.transmit(p, pkt)
 }
 
 // traceName identifies the DTU in trace output.
@@ -309,24 +355,23 @@ func (d *DTU) Reply(p *sim.Process, ep int, msg *Message, data []byte) error {
 	}
 	msg.replied = true
 	d.Ack(ep, msg)
-	reply := &Message{
-		Label:     msg.replyLabel,
-		Data:      append([]byte(nil), data...),
-		replyNode: d.node,
-		replyEP:   -1,
-		Span:      msg.Span,
-		sentAt:    d.eng.Now(),
-	}
+	reply := d.newMessage()
+	reply.Label = msg.replyLabel
+	reply.Data = append([]byte(nil), data...)
+	reply.replyNode = d.node
+	reply.replyEP = -1
+	reply.Span = msg.Span
+	reply.sentAt = d.eng.Now()
 	d.Stats.Replies++
 	if tr := d.obs; tr.On() {
 		tr.Emit(obs.Event{At: d.eng.Now(), PE: int32(d.node), Layer: obs.LDTU,
 			Kind: obs.EvReplySend, Span: obs.SpanID(reply.Span),
 			Arg0: uint64(ep), Arg1: uint64(msg.replyNode), Arg2: uint64(len(data))})
 	}
-	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: msg.replyNode, Size: msgWireSize(len(data)), Span: reply.Span,
-		Payload: &replyPacket{TargetEP: msg.replyEP, CreditEP: msg.creditEP, Msg: reply},
-	})
+	pkt := d.net.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Size, pkt.Span = d.node, msg.replyNode, msgWireSize(len(data)), reply.Span
+	pkt.Payload = &replyPacket{TargetEP: msg.replyEP, CreditEP: msg.creditEP, Msg: reply}
+	return d.transmit(p, pkt)
 }
 
 // Fetch returns the oldest unfetched message at receive endpoint ep, or
@@ -471,10 +516,10 @@ func (d *DTU) ReadMem(p *sim.Process, ep int, off int, buf []byte) error {
 			Arg0: xferRead, Arg1: uint64(len(buf))})
 	}
 	resp, err := d.doOp(p, func(op uint64) {
-		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: m.MemTarget, Size: ctrlPacketSize, Span: span,
-			Payload: &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)},
-		})
+		pkt := d.net.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Span = d.node, m.MemTarget, ctrlPacketSize, span
+		pkt.Payload = &MemReadReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Len: len(buf)}
+		d.net.Send(p, pkt)
 	})
 	if tr := d.obs; tr.On() {
 		now := d.eng.Now()
@@ -510,10 +555,10 @@ func (d *DTU) WriteMem(p *sim.Process, ep int, off int, data []byte) error {
 			Arg0: xferWrite, Arg1: uint64(len(data))})
 	}
 	resp, err := d.doOp(p, func(op uint64) {
-		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: m.MemTarget, Size: msgWireSize(len(data)), Span: span,
-			Payload: &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)},
-		})
+		pkt := d.net.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size, pkt.Span = d.node, m.MemTarget, msgWireSize(len(data)), span
+		pkt.Payload = &MemWriteReq{OpID: op, Src: d.node, Addr: m.MemAddr + off, Data: append([]byte(nil), data...)}
+		d.net.Send(p, pkt)
 	})
 	if tr := d.obs; tr.On() {
 		now := d.eng.Now()
@@ -561,10 +606,10 @@ func (d *DTU) GrantCredits(p *sim.Process, target noc.NodeID, sendEP, credits in
 	// Credit grants are not idempotent — a duplicate would double the
 	// grant — so they travel on the deduplicated reliable path rather
 	// than the op-retry path.
-	return d.transmit(p, &noc.Packet{
-		Src: d.node, Dst: target, Size: ctrlPacketSize,
-		Payload: &creditPacket{SendEP: sendEP, Credits: credits},
-	})
+	pkt := d.net.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Size = d.node, target, ctrlPacketSize
+	pkt.Payload = &creditPacket{SendEP: sendEP, Credits: credits}
+	return d.transmit(p, pkt)
 }
 
 // ConfigureRemote writes endpoint registers of the DTU at target. Only
@@ -592,10 +637,10 @@ func (d *DTU) sendConfig(p *sim.Process, target noc.NodeID, req *ConfigReq) erro
 	req.Privileged = true
 	resp, err := d.doOp(p, func(op uint64) {
 		req.OpID = op
-		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: target, Size: ctrlPacketSize + 48, // register file on the wire
-			Payload: req,
-		})
+		pkt := d.net.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size = d.node, target, ctrlPacketSize+48 // register file on the wire
+		pkt.Payload = req
+		d.net.Send(p, pkt)
 	})
 	if err != nil {
 		return err
@@ -712,6 +757,9 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 			}
 		}
 	case *MemReadReq, *MemWriteReq, *ConfigReq, *probeReq:
+		// The packet outlives Deliver: the request server dequeues and
+		// answers it later. Take ownership from the network's pool.
+		pkt.Retain = true
 		d.reqs.Send(pkt)
 	case *MemResp:
 		if po, ok := d.pending[pl.OpID]; ok {
@@ -733,17 +781,77 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 	}
 }
 
+// DeliverShard implements noc.ShardHandler: it is Deliver for the
+// parallel engine, running on the shard that owns this DTU's node id.
+// Only state owned by the destination DTU is touched inline (the
+// poison counter, the pending-send flags — all written only under this
+// node's shard or in serial context); everything with wider reach —
+// trace/obs emission, control-packet sends, signal broadcasts, and the
+// whole payload-delivery path — is deferred to the serial barrier in
+// the exact order serial Deliver would apply it.
+func (d *DTU) DeliverShard(sc *sim.ShardCtx, pkt *noc.Packet) {
+	if pkt.Corrupt {
+		d.Stats.Poisoned++
+		src, seq, span := pkt.Src, pkt.Seq, pkt.Span
+		if sc.Tracing() {
+			sc.Emit(d.traceName(), fmt.Sprintf("poisoned pkt from node%d seq %d", src, seq))
+		}
+		if tr := d.obs; tr.On() {
+			at := sc.Now()
+			sc.Defer(func() {
+				tr.Emit(obs.Event{At: at, PE: int32(d.node), Layer: obs.LDTU,
+					Kind: obs.EvPoisoned, Span: obs.SpanID(span),
+					Arg0: uint64(src), Arg1: seq})
+			})
+		}
+		if seq != 0 {
+			sc.Defer(func() {
+				if tr := d.obs; tr.On() {
+					d.mNacks.Inc()
+				}
+				d.sendCtrl(src, &nackPacket{Seq: seq})
+			})
+		}
+		return
+	}
+	switch pl := pkt.Payload.(type) {
+	case *ackPacket:
+		if ps, ok := d.sends[pl.Seq]; ok {
+			ps.acked = true
+			sc.Defer(ps.done.Broadcast)
+		}
+		return
+	case *nackPacket:
+		if ps, ok := d.sends[pl.Seq]; ok && !ps.acked {
+			ps.nacked = true
+			sc.Defer(ps.done.Broadcast)
+		}
+		return
+	}
+	// Everything else — dedup bookkeeping, ringbuffer writes, credit
+	// refills, request queuing, op completion — wakes processes or
+	// crosses into shared structures; run the serial path wholesale at
+	// the barrier.
+	sc.Defer(func() { d.Deliver(pkt) })
+}
+
 // receive places a message into the ringbuffer of receive endpoint ep,
 // writing it into the SPM like the hardware does, or drops it when the
 // buffer is full or the endpoint is not receiving.
 func (d *DTU) receive(ep int, msg *Message) {
+	// The drop paths recycle the message: it was never inserted into a
+	// ringbuffer, the reliable layer acked and deduplicated the carrying
+	// packet before receive, and no other reference exists — the message
+	// is provably dead.
 	if ep < 0 || ep >= len(d.eps) || d.eps[ep].Type != EpReceive {
 		d.Stats.MsgsDropped++
+		d.freeMessage(msg)
 		return
 	}
 	r := &d.eps[ep]
 	if r.occupied >= r.SlotCount || HeaderSize+len(msg.Data) > r.SlotSize {
 		d.Stats.MsgsDropped++
+		d.freeMessage(msg)
 		return
 	}
 	slot := r.nextSlot
@@ -752,6 +860,7 @@ func (d *DTU) receive(ep int, msg *Message) {
 	msg.slot = slot
 	if err := d.spm.Write(r.BufAddr+slot*r.SlotSize+HeaderSize, msg.Data); err != nil {
 		d.Stats.MsgsDropped++
+		d.freeMessage(msg)
 		return
 	}
 	r.occupied++
@@ -788,17 +897,21 @@ func (d *DTU) serve(p *sim.Process) {
 			} else {
 				resp.Data = buf
 			}
-			d.net.Send(p, &noc.Packet{
-				Src: d.node, Dst: req.Src, Size: msgWireSize(len(resp.Data)), Payload: resp,
-			})
+			out := d.net.NewPacket()
+			out.Src, out.Dst, out.Size = d.node, req.Src, msgWireSize(len(resp.Data))
+			out.Payload = resp
+			d.net.FreePacket(pkt)
+			d.net.Send(p, out)
 		case *MemWriteReq:
 			resp := &MemResp{OpID: req.OpID}
 			if err := d.spm.Write(req.Addr, req.Data); err != nil {
 				resp.Err = err.Error()
 			}
-			d.net.Send(p, &noc.Packet{
-				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,
-			})
+			out := d.net.NewPacket()
+			out.Src, out.Dst, out.Size = d.node, req.Src, ctrlPacketSize
+			out.Payload = resp
+			d.net.FreePacket(pkt)
+			d.net.Send(p, out)
 		case *ConfigReq:
 			resp := &ConfigResp{OpID: req.OpID}
 			if !req.Privileged {
@@ -817,17 +930,20 @@ func (d *DTU) serve(p *sim.Process) {
 						Kind: obs.EvConfig, Arg0: uint64(req.EP), Arg1: uint64(req.Src)})
 				}
 			}
-			d.net.Send(p, &noc.Packet{
-				Src: d.node, Dst: req.Src, Size: ctrlPacketSize, Payload: resp,
-			})
+			out := d.net.NewPacket()
+			out.Src, out.Dst, out.Size = d.node, req.Src, ctrlPacketSize
+			out.Payload = resp
+			d.net.FreePacket(pkt)
+			d.net.Send(p, out)
 		case *probeReq:
 			// The DTU answers for its core: it is a separate hardware
 			// block and keeps serving the NoC after a core crash.
 			crashed := d.coreStatus != nil && d.coreStatus()
-			d.net.Send(p, &noc.Packet{
-				Src: d.node, Dst: req.Src, Size: ctrlPacketSize,
-				Payload: &probeResp{OpID: req.OpID, Crashed: crashed},
-			})
+			out := d.net.NewPacket()
+			out.Src, out.Dst, out.Size = d.node, req.Src, ctrlPacketSize
+			out.Payload = &probeResp{OpID: req.OpID, Crashed: crashed}
+			d.net.FreePacket(pkt)
+			d.net.Send(p, out)
 		}
 	}
 }

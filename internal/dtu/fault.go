@@ -97,8 +97,10 @@ func (fc *FaultConfig) stall(p *sim.Process) {
 
 // pendingSend tracks one reliable outbound transfer awaiting its ack.
 type pendingSend struct {
-	done   *sim.Signal
-	acked  bool
+	done *sim.Signal
+	//m3vet:resolve sharedstate shard only the destination shard's delivery context flips the flag for packets it received; the sender polls it at the barrier
+	acked bool
+	//m3vet:resolve sharedstate shard only the destination shard's delivery context flips the flag for packets it received; the sender polls it at the barrier
 	nacked bool
 }
 
@@ -162,8 +164,11 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 					Kind: obs.EvXmitAbort, Span: obs.SpanID(pkt.Span),
 					Arg0: pkt.Seq, Arg1: uint64(pkt.Dst), Arg2: uint64(attempt + 1)})
 			}
-			return fmt.Errorf("%w: transfer to node %d unacknowledged after %d attempts",
+			// Build the error before freeing: it reads the packet.
+			err := fmt.Errorf("%w: transfer to node %d unacknowledged after %d attempts",
 				ErrTimeout, pkt.Dst, attempt+1)
+			d.net.FreePacket(pkt)
+			return err
 		}
 		if !ps.nacked {
 			timeout *= 2 // silence: back off; a NACK retransmits immediately
@@ -182,6 +187,10 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 		}
 	}
 	delete(d.sends, pkt.Seq)
+	// Sequence-numbered packets are sender-owned (the network never
+	// frees them — retransmits reuse the same packet); the transfer is
+	// acked, so this side is done with it.
+	d.net.FreePacket(pkt)
 	return nil
 }
 
@@ -236,10 +245,10 @@ func (d *DTU) Probe(p *sim.Process, target noc.NodeID) (bool, error) {
 		return false, ErrNotPrivileged
 	}
 	po, err := d.doOp(p, func(op uint64) {
-		d.net.Send(p, &noc.Packet{
-			Src: d.node, Dst: target, Size: ctrlPacketSize,
-			Payload: &probeReq{OpID: op, Src: d.node},
-		})
+		pkt := d.net.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size = d.node, target, ctrlPacketSize
+		pkt.Payload = &probeReq{OpID: op, Src: d.node}
+		d.net.Send(p, pkt)
 	})
 	if err != nil {
 		return false, err
@@ -250,5 +259,8 @@ func (d *DTU) Probe(p *sim.Process, target noc.NodeID) (bool, error) {
 // sendCtrl emits an autonomous control packet (ack, nack) from engine
 // context, where no sending process exists.
 func (d *DTU) sendCtrl(dst noc.NodeID, payload any) {
-	d.net.SendAsync(&noc.Packet{Src: d.node, Dst: dst, Size: ctrlPacketSize, Payload: payload})
+	pkt := d.net.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Size = d.node, dst, ctrlPacketSize
+	pkt.Payload = payload
+	d.net.SendAsync(pkt)
 }

@@ -1,0 +1,116 @@
+package dtu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMessagePoolHygiene: a message recycled through the DTU's pool
+// must come back with nothing of its previous life — no label, data,
+// span, or reply capability (replyNode/replyEP/replyLabel/creditEP). A
+// leak here would hand the next receiver a forged reply capability or
+// another VPE's payload.
+func TestMessagePoolHygiene(t *testing.T) {
+	r := newRig(t)
+	// d0's send endpoint targets d1's ep0, which is left unconfigured:
+	// delivery hits receive's bad-endpoint drop path, the only place a
+	// message is provably dead and recycled (into the receiving DTU's
+	// pool).
+	if err := r.d0.Configure(1, Endpoint{
+		Type: EpSend, Target: 1, TargetEP: 0, Label: 0xABCDEF, Credits: 4, MsgSize: 64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d0.Configure(2, Endpoint{
+		Type: EpReceive, BufAddr: 0, SlotSize: 64 + HeaderSize, SlotCount: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Spawn("sender", func(p *sim.Process) {
+		// Arm every field a stale message could leak: span, reply
+		// capability, label, payload.
+		r.d0.StampSpan(0xDEAD)
+		if err := r.d0.Send(p, 1, []byte("secret-payload"), 2, 0x42); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if r.d1.Stats.MsgsDropped != 1 {
+		t.Fatalf("MsgsDropped = %d, want 1", r.d1.Stats.MsgsDropped)
+	}
+	pooled := 0
+	for m := r.d1.msgFree; m != nil; m = m.next {
+		pooled++
+		if m.Label != 0 || m.Data != nil || m.Span != 0 ||
+			m.replyNode != 0 || m.replyEP != 0 || m.replyLabel != 0 || m.creditEP != 0 ||
+			m.slot != 0 || m.replied || m.acked || m.sentAt != 0 {
+			t.Fatalf("pooled message not zeroed: %+v", m)
+		}
+	}
+	if pooled != 1 {
+		t.Fatalf("pooled = %d messages, want 1", pooled)
+	}
+	// The pool must actually be a pool: the next allocation reuses the
+	// recycled object and unlinks it.
+	head := r.d1.msgFree
+	m := r.d1.newMessage()
+	if m != head {
+		t.Fatal("newMessage did not reuse the pool head")
+	}
+	if m.next != nil {
+		t.Fatal("allocated message still linked into the pool")
+	}
+	if r.d1.msgFree != nil {
+		t.Fatal("pool head not advanced")
+	}
+}
+
+// TestMessagePoolRingbufferDrops covers the other two recycle sites:
+// a full ringbuffer and an over-large payload both drop — and pool —
+// the message.
+func TestMessagePoolRingbufferDrops(t *testing.T) {
+	r := newRig(t)
+	// One slot, small: the second message finds the buffer full.
+	if err := r.d1.Configure(0, Endpoint{
+		Type: EpReceive, BufAddr: 0, SlotSize: 32 + HeaderSize, SlotCount: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d0.Configure(1, Endpoint{
+		Type: EpSend, Target: 1, TargetEP: 0, Label: 1, Credits: 8, MsgSize: 64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Spawn("sender", func(p *sim.Process) {
+		for i := 0; i < 3; i++ {
+			if err := r.d0.Send(p, 1, []byte("x"), -1, 0); err != nil {
+				t.Error(err)
+			}
+		}
+		// Fits the endpoint's MsgSize but not a slot: the slot-size drop
+		// path.
+		if err := r.d0.Send(p, 1, make([]byte, 48), -1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if r.d1.Stats.MsgsDropped != 3 {
+		t.Fatalf("MsgsDropped = %d, want 3", r.d1.Stats.MsgsDropped)
+	}
+	pooled := 0
+	for m := r.d1.msgFree; m != nil; m = m.next {
+		pooled++
+		if m.Data != nil || m.Label != 0 {
+			t.Fatalf("pooled message not zeroed: %+v", m)
+		}
+	}
+	if pooled != 3 {
+		t.Fatalf("pooled = %d messages, want 3", pooled)
+	}
+	// The delivered message must NOT have been recycled: its data
+	// legally escaped to software.
+	if m := r.d1.Fetch(0); m == nil || string(m.Data) != "x" {
+		t.Fatalf("delivered message damaged: %+v", m)
+	}
+}

@@ -150,8 +150,10 @@ func (pl Plan) normalized() (Plan, error) {
 type crashState struct {
 	crash   Crash
 	skipped bool // PE out of range or the kernel's own: never fires
-	fired   bool
-	victim  *core.VPE // the VPE on the PE at crash time, if any
+	//m3vet:resolve sharedstate owner crash events fire in serial engine callbacks
+	fired bool
+	//m3vet:resolve sharedstate owner crash events fire in serial engine callbacks
+	victim *core.VPE // the VPE on the PE at crash time, if any
 }
 
 // Injector is an attached fault plan: the hooks are armed and the

@@ -1,0 +1,173 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fillPacket arms every field a stale pooled packet could leak.
+func fillPacket(pkt *Packet) {
+	pkt.Src, pkt.Dst, pkt.Size = 1, 2, 64
+	pkt.Payload = "stale"
+	pkt.Seq = 99
+	pkt.Corrupt = true
+	pkt.Span = 0xDEAD
+	pkt.Retain = true
+}
+
+// assertZeroed fails unless pkt carries nothing of its previous life.
+func assertZeroed(t *testing.T, pkt *Packet) {
+	t.Helper()
+	if pkt.Src != 0 || pkt.Dst != 0 || pkt.Size != 0 || pkt.Payload != nil ||
+		pkt.Seq != 0 || pkt.Corrupt || pkt.Span != 0 || pkt.Retain {
+		t.Fatalf("pooled packet not zeroed: %+v", pkt)
+	}
+}
+
+// TestPacketPoolHygiene: FreePacket must scrub everything — a stale
+// Seq would trip the receiver's dedup table, a stale Corrupt flag
+// would poison an innocent transfer, a stale Retain would leak the
+// packet — and NewPacket must reuse pooled objects LIFO.
+func TestPacketPoolHygiene(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Width: 2, Height: 1})
+
+	first := n.NewPacket() // cold start: heap
+	assertZeroed(t, first)
+	fillPacket(first)
+	n.FreePacket(first)
+	assertZeroed(t, first)
+	if n.free != first {
+		t.Fatal("freed packet not at pool head")
+	}
+
+	second := n.NewPacket()
+	if second != first {
+		t.Fatal("NewPacket did not reuse the pooled object")
+	}
+	if second.next != nil {
+		t.Fatal("allocated packet still linked into the pool")
+	}
+	if n.free != nil {
+		t.Fatal("pool head not advanced")
+	}
+	n.FreePacket(second)
+}
+
+// TestPacketPoolDeliveryOwnership covers the three ownership rules at
+// the delivery boundary: fire-and-forget packets are recycled by the
+// network after Deliver, Retain hands them to the handler, and
+// sequence-numbered packets stay sender-owned.
+func TestPacketPoolDeliveryOwnership(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Width: 2, Height: 1})
+	var retained *Packet
+	n.Attach(0, HandlerFunc(func(pkt *Packet) {}))
+	n.Attach(1, HandlerFunc(func(pkt *Packet) {
+		if pkt.Payload == "keep" {
+			pkt.Retain = true
+			retained = pkt
+		}
+	}))
+
+	eng.Spawn("sender", func(p *sim.Process) {
+		// Rule: Seq == 0, no Retain — network recycles after Deliver.
+		pkt := n.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size = 0, 1, 8
+		pkt.Payload = "fire-and-forget"
+		n.Send(p, pkt)
+		if n.free != pkt {
+			t.Error("fire-and-forget packet not recycled after delivery")
+		}
+
+		// Rule: Retain — the handler owns it until it frees it.
+		pkt2 := n.NewPacket()
+		pkt2.Src, pkt2.Dst, pkt2.Size = 0, 1, 8
+		pkt2.Payload = "keep"
+		n.Send(p, pkt2)
+		if retained != pkt2 {
+			t.Error("handler did not retain the packet")
+		}
+		if n.free == pkt2 {
+			t.Error("retained packet recycled behind the handler's back")
+		}
+		n.FreePacket(retained)
+		assertZeroed(t, retained)
+
+		// Rule: Seq != 0 — sender-owned, the network must not touch it.
+		pkt3 := n.NewPacket()
+		pkt3.Src, pkt3.Dst, pkt3.Size = 0, 1, 8
+		pkt3.Seq = 7
+		pkt3.Payload = "reliable"
+		n.Send(p, pkt3)
+		if pkt3.Payload != "reliable" || pkt3.Seq != 7 {
+			t.Error("sender-owned packet mutated by delivery")
+		}
+		n.FreePacket(pkt3)
+	})
+	eng.Run()
+}
+
+// TestPacketPoolDropRecycle: a fault-dropped fire-and-forget packet is
+// recycled at the drop site; a sequence-numbered one stays with the
+// sender for retransmission.
+func TestPacketPoolDropRecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Width: 2, Height: 1})
+	n.Attach(0, HandlerFunc(func(pkt *Packet) {}))
+	n.Attach(1, HandlerFunc(func(pkt *Packet) { t.Error("dropped packet delivered") }))
+	n.SetFaultHook(func(from, to NodeID, pkt *Packet) LinkFault { return LinkDrop })
+
+	eng.Spawn("sender", func(p *sim.Process) {
+		pkt := n.NewPacket()
+		pkt.Src, pkt.Dst, pkt.Size = 0, 1, 8
+		pkt.Payload = "lost"
+		n.Send(p, pkt)
+		if n.free != pkt {
+			t.Error("dropped fire-and-forget packet not recycled")
+		}
+		assertZeroed(t, pkt)
+
+		pkt2 := n.NewPacket()
+		pkt2.Src, pkt2.Dst, pkt2.Size = 0, 1, 8
+		pkt2.Seq = 3
+		pkt2.Payload = "reliable"
+		n.Send(p, pkt2)
+		if pkt2.Payload != "reliable" {
+			t.Error("sender-owned packet recycled at the drop site")
+		}
+		n.FreePacket(pkt2)
+	})
+	eng.Run()
+	if n.PacketsDropped != 2 {
+		t.Fatalf("PacketsDropped = %d, want 2", n.PacketsDropped)
+	}
+}
+
+// TestPacketPoolAsyncRecycle: SendAsync delivers via a scheduled event;
+// the fire-and-forget recycle happens after the deferred delivery, not
+// at injection.
+func TestPacketPoolAsyncRecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{Width: 2, Height: 1})
+	delivered := false
+	n.Attach(0, HandlerFunc(func(pkt *Packet) {}))
+	n.Attach(1, HandlerFunc(func(pkt *Packet) { delivered = true }))
+
+	pkt := n.NewPacket()
+	pkt.Src, pkt.Dst, pkt.Size = 0, 1, 8
+	pkt.Payload = "ctrl"
+	n.SendAsync(pkt)
+	if n.free == pkt {
+		t.Fatal("in-flight async packet recycled before delivery")
+	}
+	eng.Run()
+	if !delivered {
+		t.Fatal("async packet never delivered")
+	}
+	if n.free != pkt {
+		t.Fatal("async packet not recycled after delivery")
+	}
+	assertZeroed(t, pkt)
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+// TestEmitZeroAlloc pins the hot-path allocation contract: emitting an
+// event into an armed flight ring allocates nothing once the ring
+// exists — events are by-value flyweights, the ring is a fixed array.
+// A regression here (a pointer field, an interface conversion, a
+// fmt call) multiplies across every simulated message.
+func TestEmitZeroAlloc(t *testing.T) {
+	tr := New(Options{FlightRecorder: DefaultFlightRecorder})
+	ev := Event{At: 1, PE: 3, Layer: LDTU, Kind: EvMsgSend, Span: 7, Arg0: 1, Arg1: 2, Arg2: 3}
+	tr.Emit(ev) // warm: first emit on a PE allocates its ring
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ev.At++
+		tr.Emit(ev)
+	}); allocs != 0 {
+		t.Fatalf("Emit allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// TestHistObserveZeroAlloc: histogram updates ride the same hot path.
+func TestHistObserveZeroAlloc(t *testing.T) {
+	tr := New(Options{})
+	h := tr.Hist(HMsgLatency)
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(42) }); allocs != 0 {
+		t.Fatalf("Observe allocates %v objects per call, want 0", allocs)
+	}
+}
+
+// TestCounterZeroAlloc: cached counter handles must be increment-only.
+func TestCounterZeroAlloc(t *testing.T) {
+	tr := New(Options{})
+	c := tr.Metrics().Counter("alloc_test_total", 0)
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		t.Fatalf("Inc allocates %v objects per call, want 0", allocs)
+	}
+}

@@ -152,6 +152,11 @@ func (k Kind) String() string {
 
 // Event is one structured trace record. PE is the NoC node the event
 // originates from (-1 if none). The Arg fields are kind-specific.
+//
+// Events are 46-byte by-value flyweights: they travel through Emit,
+// the flight rings, and sinks as copies, never as pointers, so the
+// steady-state emission path allocates nothing (TestEmitZeroAlloc)
+// and no event can be mutated retroactively.
 type Event struct {
 	At    sim.Time
 	PE    int32

@@ -338,14 +338,12 @@ func TestEventInPastPanics(t *testing.T) {
 	}()
 	e := NewEngine()
 	e.Schedule(10, func() {
-		// Forge an event in the past by manipulating the clock through
-		// a nested RunUntil misuse: directly push an earlier event.
+		// Forge an event in the past: push directly into the queue,
+		// bypassing Schedule's now-relative stamping. The engine must
+		// panic when it pops it rather than rewind the clock.
 		e.seq++
-		e.events = append(e.events, &event{at: 5, seq: e.seq})
-		// Restore heap order violated intentionally? The heap property
-		// makes at=5 bubble to the top for the next step.
+		e.queue.push(&event{at: 5, seq: e.seq})
 	})
-	// Fix up: we must re-heapify via another schedule so Pop sees it.
 	e.Run()
 }
 

@@ -1,0 +1,299 @@
+package sim
+
+import "sync"
+
+// This file implements conservative parallel execution of sharded
+// events. The model is cycle-synchronous: the engine pops a maximal
+// run of consecutive same-cycle sharded events (a batch), executes the
+// batch on a worker pool grouped by shard, and then replays every
+// cross-shard effect each event recorded — scheduling, deferred
+// closures, trace emission — on the engine goroutine in the events'
+// (at, seq) order. Replay reproduces the exact sequence-number
+// assignment and side-effect order of serial execution, which is what
+// makes parallel runs byte-identical to serial ones (enforced by
+// TestEngineEquivalence in internal/bench). See docs/PARALLEL.md.
+
+// ShardCtx is the capability handed to a sharded callback
+// (Engine.ScheduleShard). Inside the callback, shard-owned state may be
+// touched directly; everything else must go through the context, which
+// either applies the effect immediately (serial engine) or records it
+// for deterministic replay at the batch barrier (parallel engine).
+type ShardCtx struct {
+	eng   *Engine
+	shard int32
+	// immediate selects serial semantics: effects apply inline, making
+	// a serial engine's ScheduleShard behave exactly like Schedule.
+	immediate bool
+	//m3vet:resolve sharedstate shard each batch context is handed to exactly one worker; its act log is appended by that shard alone and drained at the barrier
+	acts     []shardAct
+	panicked any
+}
+
+// actKind discriminates the recorded effect types.
+type actKind uint8
+
+const (
+	actDefer actKind = iota
+	actSchedule
+	actScheduleShard
+)
+
+// shardAct is one recorded effect, replayed at the batch barrier in
+// recording order.
+type shardAct struct {
+	kind  actKind
+	delay Time
+	shard int32
+	fn    func()
+	sfn   func(*ShardCtx)
+}
+
+// Now returns the current simulated time. It is fixed for the duration
+// of a batch, so reading it from a worker is race-free.
+func (sc *ShardCtx) Now() Time { return sc.eng.now }
+
+// Shard returns the shard this callback was scheduled on.
+func (sc *ShardCtx) Shard() int { return int(sc.shard) }
+
+// Tracing reports whether a tracer is installed. Tracers are installed
+// before running (see Engine.SetTracer), so this read is race-free.
+func (sc *ShardCtx) Tracing() bool { return sc.eng.tracer != nil }
+
+// Emit delivers one trace event at the current time, in the event's
+// deterministic position: immediately under a serial engine, at the
+// batch barrier under a parallel one.
+func (sc *ShardCtx) Emit(source, event string) {
+	if sc.eng.tracer == nil {
+		return
+	}
+	if sc.immediate {
+		sc.eng.Emit(source, event)
+		return
+	}
+	eng := sc.eng
+	sc.acts = append(sc.acts, shardAct{kind: actDefer, fn: func() { eng.Emit(source, event) }})
+}
+
+// Schedule registers fn as a serial event after delay cycles, like
+// Engine.Schedule but legal from shard context.
+func (sc *ShardCtx) Schedule(delay Time, fn func()) {
+	if sc.immediate {
+		sc.eng.Schedule(delay, fn)
+		return
+	}
+	sc.acts = append(sc.acts, shardAct{kind: actSchedule, delay: delay, fn: fn})
+}
+
+// ScheduleShard registers fn as a sharded event after delay cycles,
+// like Engine.ScheduleShard but legal from shard context.
+func (sc *ShardCtx) ScheduleShard(shard int, delay Time, fn func(*ShardCtx)) {
+	if shard < 0 {
+		panic("sim: ScheduleShard with negative shard")
+	}
+	if sc.immediate {
+		sc.eng.ScheduleShard(shard, delay, fn)
+		return
+	}
+	sc.acts = append(sc.acts, shardAct{kind: actScheduleShard, delay: delay, shard: int32(shard), sfn: fn})
+}
+
+// Defer runs fn in engine context — immediately under a serial engine,
+// at the batch barrier under a parallel one. It is the escape hatch
+// for any effect that touches state the shard does not own: shared
+// counters, signal broadcasts, obs emission, pool frees.
+func (sc *ShardCtx) Defer(fn func()) {
+	if sc.immediate {
+		fn()
+		return
+	}
+	sc.acts = append(sc.acts, shardAct{kind: actDefer, fn: fn})
+}
+
+// getCtx takes a ShardCtx from the engine's context pool.
+func (e *Engine) getCtx(shard int32, immediate bool) *ShardCtx {
+	var sc *ShardCtx
+	if n := len(e.freeCtx); n > 0 {
+		sc = e.freeCtx[n-1]
+		e.freeCtx = e.freeCtx[:n-1]
+	} else {
+		sc = &ShardCtx{}
+	}
+	sc.eng, sc.shard, sc.immediate, sc.panicked = e, shard, immediate, nil
+	return sc
+}
+
+// putCtx zeroes a ShardCtx (pool hygiene: recorded closures must not
+// be pinned by the freelist) and returns it to the pool.
+func (e *Engine) putCtx(sc *ShardCtx) {
+	for i := range sc.acts {
+		sc.acts[i] = shardAct{}
+	}
+	sc.acts = sc.acts[:0]
+	sc.eng, sc.panicked = nil, nil
+	e.freeCtx = append(e.freeCtx, sc)
+}
+
+// stepShard executes the sharded event first (already popped, clock
+// already advanced) and, under a parallel engine, the rest of its
+// batch: the maximal run of consecutive queued sharded events with the
+// same time stamp.
+func (e *Engine) stepShard(first *event) {
+	if e.cfg.Workers <= 1 {
+		// Serial: run inline with an immediate-mode context. This path
+		// is behaviourally identical to a plain Schedule of the same
+		// callback.
+		sfn, shard := first.sfn, first.shard
+		e.release(first)
+		e.executed++
+		sc := e.getCtx(shard, true)
+		sfn(sc)
+		e.putCtx(sc)
+		return
+	}
+
+	// Collect the batch. A serial event at the same cycle ends it: that
+	// event may touch any state, so it must observe all earlier sharded
+	// effects and be observed by later ones.
+	at := first.at
+	e.batch = append(e.batch[:0], first)
+	for {
+		nx := e.queue.peek()
+		if nx == nil || nx.at != at || nx.sfn == nil {
+			break
+		}
+		e.batch = append(e.batch, e.queue.pop())
+	}
+
+	// Group batch indices by shard, in first-appearance order, so each
+	// shard's events execute sequentially in seq order on one worker.
+	if e.groupOf == nil {
+		e.groupOf = make(map[int32]int)
+	}
+	e.groups = e.groups[:0]
+	for i, ev := range e.batch {
+		gi, ok := e.groupOf[ev.shard]
+		if !ok {
+			gi = len(e.groups)
+			e.groupOf[ev.shard] = gi
+			if gi < cap(e.groups) {
+				e.groups = e.groups[:gi+1]
+				e.groups[gi] = e.groups[gi][:0]
+			} else {
+				e.groups = append(e.groups, nil)
+			}
+		}
+		e.groups[gi] = append(e.groups[gi], i)
+	}
+	e.batchCtx = e.batchCtx[:0]
+	for _, ev := range e.batch {
+		e.batchCtx = append(e.batchCtx, e.getCtx(ev.shard, false))
+	}
+
+	// Execute. inBatch is set before any task is handed to a worker and
+	// cleared after all workers are joined, so workers always observe
+	// it as true (channel send / WaitGroup establish the ordering).
+	if e.pool == nil {
+		e.pool = newShardPool(e.cfg.Workers)
+	}
+	e.inBatch = true
+	var done sync.WaitGroup
+	done.Add(len(e.groups))
+	for _, g := range e.groups {
+		e.pool.tasks <- poolTask{e: e, group: g, done: &done}
+	}
+	done.Wait()
+	e.inBatch = false
+
+	// Replay in batch (= seq) order: this is where the parallel run
+	// re-serializes into exactly the schedule a serial engine would
+	// have produced. A panic captured on a worker is re-raised here, at
+	// the deterministic point where serial execution would have hit it,
+	// after the panicking event's own recorded effects are applied.
+	for i, ev := range e.batch {
+		sc := e.batchCtx[i]
+		e.executed++
+		for j := range sc.acts {
+			a := &sc.acts[j]
+			switch a.kind {
+			case actDefer:
+				a.fn()
+			case actSchedule:
+				e.Schedule(a.delay, a.fn)
+			case actScheduleShard:
+				e.queue.push(e.alloc(e.now+a.delay, nil, a.sfn, a.shard))
+			}
+		}
+		if sc.panicked != nil {
+			panic(sc.panicked)
+		}
+		e.release(ev)
+		e.putCtx(sc)
+	}
+	e.batch = e.batch[:0]
+	e.batchCtx = e.batchCtx[:0]
+	clear(e.groupOf)
+}
+
+// shardPool is a persistent pool of batch workers. It is started
+// lazily on the first parallel batch and torn down when Run/RunUntil
+// returns (stopPool), so an idle engine holds no goroutines.
+type shardPool struct {
+	tasks   chan poolTask
+	workers sync.WaitGroup
+}
+
+// poolTask executes one shard group of the current batch.
+type poolTask struct {
+	e     *Engine
+	group []int
+	done  *sync.WaitGroup
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{tasks: make(chan poolTask)}
+	p.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.workers.Done()
+			for t := range p.tasks {
+				t.run()
+			}
+		}()
+	}
+	return p
+}
+
+func (t poolTask) run() {
+	defer t.done.Done()
+	for _, i := range t.group {
+		ev, sc := t.e.batch[i], t.e.batchCtx[i]
+		runShardEvent(ev, sc)
+		if sc.panicked != nil {
+			// Later events of this shard never run — exactly as in
+			// serial execution, where the panic would have unwound
+			// before reaching them. The barrier re-raises it.
+			return
+		}
+	}
+}
+
+// runShardEvent runs one sharded callback, converting a panic into a
+// recorded value so the barrier can re-raise it deterministically.
+func runShardEvent(ev *event, sc *ShardCtx) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.panicked = r
+		}
+	}()
+	ev.sfn(sc)
+}
+
+// stopPool tears down the worker pool, if one was started.
+func (e *Engine) stopPool() {
+	if e.pool == nil {
+		return
+	}
+	close(e.pool.tasks)
+	e.pool.workers.Wait()
+	e.pool = nil
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pingRun drives a synthetic sharded workload — messages hopping
+// between per-shard counters with deferred logging and cross-traffic —
+// and returns everything observable: the final per-shard state, the
+// ordered effect log, the trace stream, the executed-event count, and
+// the final time. Every engine configuration must produce identical
+// results.
+func pingRun(t *testing.T, cfg Config, shards, hops int) (state []uint64, log []string, trace []string, executed uint64, end Time) {
+	t.Helper()
+	e := NewEngineWith(cfg)
+	e.SetTracer(func(at Time, source, event string) {
+		trace = append(trace, fmt.Sprintf("%d %s %s", at, source, event))
+	})
+	state = make([]uint64, shards)
+	var hop func(sc *ShardCtx, origin, left int)
+	hop = func(sc *ShardCtx, origin, left int) {
+		s := sc.Shard()
+		// Shard-owned write: legal without the context.
+		state[s] = state[s]*31 + uint64(origin) + uint64(sc.Now())
+		sc.Emit(fmt.Sprintf("shard%d", s), fmt.Sprintf("hop o=%d left=%d", origin, left))
+		sc.Defer(func() { log = append(log, fmt.Sprintf("%d: s%d o%d l%d", sc.Now(), s, origin, left)) })
+		if left == 0 {
+			return
+		}
+		next := (s + origin + 1) % shards
+		// Vary the delay so batches mix same-cycle ties, serial events,
+		// and cross-cycle traffic.
+		delay := Time((origin + left) % 3)
+		sc.ScheduleShard(next, delay, func(nsc *ShardCtx) { hop(nsc, origin, left-1) })
+		if left%4 == 0 {
+			// Interleave a serial event: it must observe all earlier
+			// sharded effects and be observed by later ones.
+			sc.Schedule(delay, func() { log = append(log, fmt.Sprintf("%d: serial o%d l%d", e.Now(), origin, left)) })
+		}
+	}
+	for o := 0; o < shards; o++ {
+		o := o
+		e.ScheduleShard(o, Time(o%2), func(sc *ShardCtx) { hop(sc, o, hops) })
+	}
+	end = e.Run()
+	return state, log, trace, e.ExecutedEvents(), end
+}
+
+// TestParallelMatchesSerial runs the synthetic sharded workload under
+// the serial engine and parallel engines with 2, 4, and 8 workers (and
+// both queue kinds) and requires identical observable behaviour.
+func TestParallelMatchesSerial(t *testing.T) {
+	const shards, hops = 8, 40
+	refState, refLog, refTrace, refExec, refEnd := pingRun(t, Config{}, shards, hops)
+	if refExec == 0 || len(refLog) == 0 || len(refTrace) == 0 {
+		t.Fatal("reference run observed nothing; workload broken")
+	}
+	for _, cfg := range []Config{
+		{Queue: QueueHeap},
+		{Workers: 2},
+		{Workers: 4},
+		{Workers: 8},
+		{Queue: QueueHeap, Workers: 4},
+	} {
+		state, log, trace, exec, end := pingRun(t, cfg, shards, hops)
+		if exec != refExec || end != refEnd {
+			t.Fatalf("cfg %+v: executed/end = %d/%d, want %d/%d", cfg, exec, end, refExec, refEnd)
+		}
+		for i := range refState {
+			if state[i] != refState[i] {
+				t.Fatalf("cfg %+v: shard %d state = %d, want %d", cfg, i, state[i], refState[i])
+			}
+		}
+		for i := range refLog {
+			if log[i] != refLog[i] {
+				t.Fatalf("cfg %+v: log[%d] = %q, want %q", cfg, i, log[i], refLog[i])
+			}
+		}
+		if len(log) != len(refLog) {
+			t.Fatalf("cfg %+v: log length %d, want %d", cfg, len(log), len(refLog))
+		}
+		for i := range refTrace {
+			if trace[i] != refTrace[i] {
+				t.Fatalf("cfg %+v: trace[%d] = %q, want %q", cfg, i, trace[i], refTrace[i])
+			}
+		}
+		if len(trace) != len(refTrace) {
+			t.Fatalf("cfg %+v: trace length %d, want %d", cfg, len(trace), len(refTrace))
+		}
+	}
+}
+
+// TestParallelDeterminism: the same parallel configuration must be
+// deterministic run-to-run (worker scheduling must never leak into
+// observable order).
+func TestParallelDeterminism(t *testing.T) {
+	_, ref, _, _, _ := pingRun(t, Config{Workers: 4}, 8, 60)
+	for run := 0; run < 5; run++ {
+		_, log, _, _, _ := pingRun(t, Config{Workers: 4}, 8, 60)
+		if len(log) != len(ref) {
+			t.Fatalf("run %d: log length %d, want %d", run, len(log), len(ref))
+		}
+		for i := range ref {
+			if log[i] != ref[i] {
+				t.Fatalf("run %d: log[%d] = %q, want %q", run, i, log[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestScheduleFromShardPanics: a sharded callback calling the engine's
+// Schedule directly under a parallel engine is a data race on the
+// event queue; the engine must turn it into a named panic.
+func TestScheduleFromShardPanics(t *testing.T) {
+	e := NewEngineWith(Config{Workers: 2})
+	// Two shards at the same cycle force a real parallel batch.
+	e.ScheduleShard(0, 0, func(sc *ShardCtx) {})
+	e.ScheduleShard(1, 0, func(sc *ShardCtx) {
+		e.Schedule(1, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for Schedule from shard context")
+		}
+		if s, ok := r.(string); !ok || s != "sim: Schedule from a parallel shard context; use ShardCtx.Schedule/ScheduleShard/Defer" {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestShardPanicReplay: a panic on a worker must surface from Run with
+// the original value, after the panicking event's earlier effects are
+// applied, deterministically across runs.
+func TestShardPanicReplay(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		e := NewEngineWith(Config{Workers: 4})
+		var log []string
+		for s := 0; s < 4; s++ {
+			s := s
+			e.ScheduleShard(s, 0, func(sc *ShardCtx) {
+				sc.Defer(func() { log = append(log, fmt.Sprintf("s%d", s)) })
+				if s == 2 {
+					panic("boom-2")
+				}
+			})
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != "boom-2" {
+					t.Fatalf("run %d: panic = %v, want boom-2", run, r)
+				}
+			}()
+			e.Run()
+		}()
+		// Replay order is batch order: shards 0 and 1 replay before the
+		// panic re-raises; shard 2's own defer applies first; shard 3
+		// never replays.
+		want := []string{"s0", "s1", "s2"}
+		if len(log) != len(want) {
+			t.Fatalf("run %d: log = %v, want %v", run, log, want)
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("run %d: log = %v, want %v", run, log, want)
+			}
+		}
+	}
+}
+
+// TestSerialShardCtxIsImmediate: under a serial engine, ShardCtx
+// effects apply inline — Defer runs before the callback returns.
+func TestSerialShardCtxIsImmediate(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.ScheduleShard(3, 5, func(sc *ShardCtx) {
+		if sc.Shard() != 3 {
+			t.Fatalf("Shard() = %d, want 3", sc.Shard())
+		}
+		if sc.Now() != 5 {
+			t.Fatalf("Now() = %d, want 5", sc.Now())
+		}
+		sc.Defer(func() { ran = true })
+		if !ran {
+			t.Fatal("serial Defer must run immediately")
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("sharded callback never ran")
+	}
+}
+
+// TestRunUntilStopsWorkers: RunUntil must tear the worker pool down on
+// exit so an idle engine holds no goroutines, and a later RunUntil must
+// transparently restart it.
+func TestRunUntilStopsWorkers(t *testing.T) {
+	e := NewEngineWith(Config{Workers: 4})
+	tick := func(sc *ShardCtx) {}
+	for s := 0; s < 4; s++ {
+		e.ScheduleShard(s, 10, tick)
+		e.ScheduleShard(s, 30, tick)
+	}
+	e.RunUntil(20)
+	if e.pool != nil {
+		t.Fatal("worker pool must stop when RunUntil returns")
+	}
+	if e.ExecutedEvents() != 4 {
+		t.Fatalf("executed = %d, want 4", e.ExecutedEvents())
+	}
+	e.RunUntil(40)
+	if e.pool != nil {
+		t.Fatal("worker pool must stop after the second RunUntil too")
+	}
+	if e.ExecutedEvents() != 8 {
+		t.Fatalf("executed = %d, want 8", e.ExecutedEvents())
+	}
+}
+
+// TestEventPoolHygiene: released events must carry no stale callback,
+// shard tag, or sequence number back out of the freelist.
+func TestEventPoolHygiene(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.ScheduleShard(2, 2, func(sc *ShardCtx) {})
+	e.Run()
+	seenFree := 0
+	for ev := e.free; ev != nil; ev = ev.next {
+		seenFree++
+		if ev.fn != nil || ev.sfn != nil || ev.shard != 0 || ev.at != 0 || ev.seq != 0 {
+			t.Fatalf("freelist event not zeroed: %+v", ev)
+		}
+	}
+	if seenFree == 0 {
+		t.Fatal("expected recycled events on the freelist")
+	}
+	// Contexts too: recorded acts must be dropped so closures are not
+	// pinned.
+	for _, sc := range e.freeCtx {
+		if sc.eng != nil || sc.panicked != nil || len(sc.acts) != 0 {
+			t.Fatalf("freelist ShardCtx not cleaned: %+v", sc)
+		}
+	}
+}

@@ -13,11 +13,15 @@ type Process struct {
 	eng    *Engine
 	name   string
 	resume chan struct{}
-	dead   bool
+	//m3vet:resolve sharedstate owner process lifecycle flags flip under the engine's strict hand-off, never in shard context
+	dead bool
+	//m3vet:resolve sharedstate owner process lifecycle flags flip under the engine's strict hand-off, never in shard context
 	killed bool
+	//m3vet:resolve sharedstate owner set once at spawn time on the engine goroutine
 	daemon bool
 
 	// done is signalled when the process function returns.
+	//m3vet:resolve sharedstate owner assigned at spawn, signalled at process exit, both engine-side
 	done *Signal
 }
 

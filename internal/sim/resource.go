@@ -10,14 +10,20 @@ import "fmt"
 type Resource struct {
 	eng      *Engine
 	capacity int
-	inUse    int
-	waiters  []resWaiter
+	//m3vet:resolve sharedstate owner arbiter state changes in Acquire/Release, which run in process context
+	inUse int
+	//m3vet:resolve sharedstate owner arbiter state changes in Acquire/Release, which run in process context
+	waiters []resWaiter
 
 	// busyCycles accumulates capacity-weighted busy time for
 	// utilisation statistics.
-	busyCycles   Time
-	lastChange   Time
-	totalGrants  uint64
+	//m3vet:resolve sharedstate owner statistics accumulate alongside the arbiter state, process context only
+	busyCycles Time
+	//m3vet:resolve sharedstate owner statistics accumulate alongside the arbiter state, process context only
+	lastChange Time
+	//m3vet:resolve sharedstate owner statistics accumulate alongside the arbiter state, process context only
+	totalGrants uint64
+	//m3vet:resolve sharedstate owner statistics accumulate alongside the arbiter state, process context only
 	totalWaitFor Time
 }
 

@@ -10,7 +10,8 @@ package sim
 //		sig.Wait(p)
 //	}
 type Signal struct {
-	eng     *Engine
+	eng *Engine
+	//m3vet:resolve sharedstate owner Wait and Broadcast run in process or barrier context; shard code defers its broadcasts
 	waiters []*Process
 }
 

@@ -41,6 +41,9 @@ func (m *memTile) Deliver(pkt *noc.Packet) {
 	}
 	switch pkt.Payload.(type) {
 	case *dtu.MemReadReq, *dtu.MemWriteReq:
+		// The packet outlives Deliver: a serve worker dequeues and
+		// answers it later. Take ownership from the network's pool.
+		pkt.Retain = true
 		m.reqs.Send(pkt)
 	default:
 		panic(fmt.Sprintf("tile: memory tile got %T", pkt.Payload))
@@ -55,25 +58,36 @@ func (m *memTile) serve(p *sim.Process) {
 		case *dtu.MemReadReq:
 			buf := make([]byte, req.Len)
 			resp := &dtu.MemResp{OpID: req.OpID}
+			src := req.Src
+			m.net.FreePacket(pkt)
 			err := m.dram.Access(p, false, req.Addr, buf, func() {
 				// Stream the response while the port is held: the port
 				// is busy exactly as long as data leaves the module.
 				resp.Data = buf
-				m.net.Send(p, &noc.Packet{
-					Src: m.node, Dst: req.Src, Size: dtu.HeaderSize + len(buf), Payload: resp,
-				})
+				out := m.net.NewPacket()
+				out.Src, out.Dst, out.Size = m.node, src, dtu.HeaderSize+len(buf)
+				out.Payload = resp
+				m.net.Send(p, out)
 			})
 			if err != nil {
 				resp.Err = err.Error()
-				m.net.Send(p, &noc.Packet{Src: m.node, Dst: req.Src, Size: 16, Payload: resp})
+				out := m.net.NewPacket()
+				out.Src, out.Dst, out.Size = m.node, src, 16
+				out.Payload = resp
+				m.net.Send(p, out)
 			}
 		case *dtu.MemWriteReq:
 			resp := &dtu.MemResp{OpID: req.OpID}
+			src := req.Src
+			m.net.FreePacket(pkt)
 			err := m.dram.Access(p, true, req.Addr, req.Data, nil)
 			if err != nil {
 				resp.Err = err.Error()
 			}
-			m.net.Send(p, &noc.Packet{Src: m.node, Dst: req.Src, Size: 16, Payload: resp})
+			out := m.net.NewPacket()
+			out.Src, out.Dst, out.Size = m.node, src, 16
+			out.Payload = resp
+			m.net.Send(p, out)
 		}
 	}
 }

@@ -33,8 +33,10 @@ type PE struct {
 	SPM  *mem.SPM
 	DTU  *dtu.DTU
 
-	plat    *Platform
-	prog    *sim.Process
+	plat *Platform
+	//m3vet:resolve sharedstate owner set at program start and by serial crash callbacks
+	prog *sim.Process
+	//m3vet:resolve sharedstate owner set at program start and by serial crash callbacks
 	crashed bool
 }
 
