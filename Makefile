@@ -32,25 +32,28 @@ bench:
 
 # The bench regression gate: rerun the fast experiment subset, keep the
 # JSON artifact for inspection, and fail if any gated metric regressed
-# past its tolerance against the committed baseline (BENCH_1.json,
+# past its tolerance against the committed baseline (BENCH_2.json,
 # refresh with `make bench-baseline` when a change legitimately moves
-# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json is the previous
-# generation's baseline, kept for historical comparison.
+# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json and BENCH_1.json
+# are previous generations' baselines, kept for historical comparison.
 bench-smoke:
 	mkdir -p artifacts
 	go run ./cmd/m3bench -e smoke -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
-	go run ./cmd/m3bench -diff BENCH_1.json artifacts/bench-smoke.json
+	go run ./cmd/m3bench -diff BENCH_2.json artifacts/bench-smoke.json
 
 bench-baseline:
-	go run ./cmd/m3bench -e smoke -json BENCH_1.json
+	go run ./cmd/m3bench -e smoke -json BENCH_2.json
 
 # The chaos tier: determinism under fault injection plus the workload
 # matrix that proves isolation survives packet loss, PE crashes, and —
 # with the supervisor armed — service crashes that must recover
-# (docs/FAULTS.md, docs/RECOVERY.md). Race-enabled — fault events must
-# not break the engine's strict hand-off.
+# (docs/FAULTS.md, docs/RECOVERY.md), plus the chaos-overload tier:
+# graceful degradation, kernel shedding, deadline expiry, and the
+# zero-overhead-when-off bit-identity proof (docs/OVERLOAD.md).
+# Race-enabled — fault events must not break the engine's strict
+# hand-off.
 chaos:
-	go test -race -run 'TestFaultDeterminism|TestChaosMatrix|TestObsChaosStreamDeterministic|TestFlightDump' ./internal/bench
+	go test -race -run 'TestFaultDeterminism|TestChaosMatrix|TestObsChaosStreamDeterministic|TestFlightDump|TestOverload' ./internal/bench
 
 # Short fuzz smoke over the crash-facing decoders — the fault-plan
 # parser and the m3fs metadata journal — plus the event-queue

@@ -15,11 +15,13 @@
 #              shuffled test order, so no test can silently depend on
 #              a sibling running first
 #   chaos      the fault-injection tier: determinism under faults, the
-#              isolation-survives-failure matrix, and service crash
-#              recovery (docs/FAULTS.md, docs/RECOVERY.md)
+#              isolation-survives-failure matrix, service crash
+#              recovery, and the chaos-overload tier — graceful
+#              degradation under open-loop overload (docs/FAULTS.md,
+#              docs/RECOVERY.md, docs/OVERLOAD.md)
 #   fuzz       a short smoke over the fault-plan and journal decoders
 #   bench      the bench regression gate: the smoke experiment subset
-#              diffed against the committed BENCH_1.json baseline; the
+#              diffed against the committed BENCH_2.json baseline; the
 #              JSON artifact is kept under artifacts/ for inspection
 #              (docs/EXPERIMENTS.md)
 set -eux

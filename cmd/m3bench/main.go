@@ -40,6 +40,7 @@ var experiments = []experiment{
 	{"efault", "completion time under packet loss", false, runEFault},
 	{"erecover", "m3fs crash/restart availability sweep", false, runERecover},
 	{"elat", "latency percentile tables", true, runELat},
+	{"eload", "graceful degradation under open-loop overload", true, runELoad},
 	{"witness", "determinism witness: run stats + stream hashes", true, runWitness},
 }
 

@@ -189,3 +189,14 @@ func runELat() (bench.BenchExperiment, error) {
 	}
 	return runCSVExperiment("elat", r)
 }
+
+// runELoad reports graceful degradation under open-loop overload
+// (docs/OVERLOAD.md): capacity probe, then 0.5x/1x/2x offered load
+// with the full overload stack armed.
+func runELoad() (bench.BenchExperiment, error) {
+	r, err := bench.ELoad()
+	if err != nil {
+		return bench.BenchExperiment{}, err
+	}
+	return runCSVExperiment("eload", r)
+}

@@ -85,6 +85,7 @@ func All() []*Analyzer {
 		MagicCost,
 		CrossLayer,
 		FaultSite,
+		DeadlineGuard,
 		EpochFence,
 		ObsGuard,
 		MetricName,

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// DeadlineGuard enforces the overload-control contract on blocking RPC
+// primitives (docs/OVERLOAD.md): every call site of an unbounded
+// service RPC — a send-gate Call, a blocking receive-gate Recv, or the
+// kernel's callService helper — must either pass an explicit deadline
+// (a nonzero CallDeadline argument) or carry a //m3vet:nodeadline
+// comment recording *why* the site is deliberately unbounded (or, for
+// callService, why its bound lives elsewhere). An RPC with neither is
+// how a shed or crashed service turns into a hung caller: the deadline
+// decision must be visible at the call site, not implicit.
+var DeadlineGuard = &Analyzer{
+	Name: "deadlineguard",
+	Doc:  "blocking service RPCs must set a deadline or carry //m3vet:nodeadline",
+	Run:  runDeadlineGuard,
+}
+
+// NoDeadlinePrefix introduces the suppression comment:
+//
+//	//m3vet:nodeadline <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory, and a comment that suppresses nothing is itself
+// a diagnostic — stale annotations must not linger.
+const NoDeadlinePrefix = "m3vet:nodeadline"
+
+// deadlineEntry describes one guarded RPC primitive.
+type deadlineEntry struct {
+	// deadlineArg is the index of the deadline argument, or -1 when
+	// the primitive takes none (and is therefore always unbounded).
+	deadlineArg int
+}
+
+// deadlineEntryPoints maps (defining package, function name) to the
+// guard description. callService takes no deadline parameter — the
+// kernel stamps its configured service-call deadline internally — so
+// each of its call sites carries an annotation saying exactly that,
+// keeping the boundedness story auditable per site.
+var deadlineEntryPoints = map[[2]string]deadlineEntry{
+	{"repro/internal/m3", "Call"}:          {deadlineArg: -1},
+	{"repro/internal/m3", "Recv"}:          {deadlineArg: -1},
+	{"repro/internal/m3", "CallDeadline"}:  {deadlineArg: 1},
+	{"repro/internal/core", "callService"}: {deadlineArg: -1},
+}
+
+func runDeadlineGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Collect this file's nodeadline comments first: a comment at
+		// line L claims findings on L (trailing) and L+1 (standalone
+		// above the call), like //m3vet:allow.
+		type slot struct {
+			line int
+			pos  ast.Node
+			used bool
+		}
+		var slots []*slot
+		claimed := map[int]*slot{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, NoDeadlinePrefix) {
+					continue
+				}
+				pos := pass.Pkg.Fset.Position(c.Pos())
+				if len(strings.Fields(strings.TrimPrefix(text, NoDeadlinePrefix))) == 0 {
+					pass.Reportf(c.Pos(), "malformed nodeadline comment: want //m3vet:nodeadline <reason>")
+					continue
+				}
+				s := &slot{line: pos.Line, pos: c}
+				slots = append(slots, s)
+				claimed[pos.Line] = s
+				claimed[pos.Line+1] = s
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			key := [2]string{fn.Pkg().Path(), fn.Name()}
+			entry, guarded := deadlineEntryPoints[key]
+			if !guarded {
+				return true
+			}
+			if entry.deadlineArg >= 0 {
+				// Bounded variant: fine unless the deadline argument is
+				// the constant zero (which is Call in disguise).
+				if entry.deadlineArg >= len(call.Args) {
+					return true
+				}
+				tv, ok := info.Types[call.Args[entry.deadlineArg]]
+				if !ok || tv.Value == nil {
+					return true // dynamic deadline expression
+				}
+				if v, exact := constant.Uint64Val(tv.Value); !exact || v != 0 {
+					return true
+				}
+			}
+			line := pass.Pkg.Fset.Position(call.Pos()).Line
+			if s := claimed[line]; s != nil {
+				s.used = true
+				return true
+			}
+			what := "without a deadline"
+			if entry.deadlineArg >= 0 {
+				what = "with a constant-zero deadline"
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s.%s %s: pass a deadline or annotate //m3vet:nodeadline <reason>",
+				key[0], fn.Name(), what)
+			return true
+		})
+		for _, s := range slots {
+			if !s.used {
+				pass.Reportf(s.pos.Pos(), "nodeadline comment suppresses nothing; remove it")
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import "testing"
+
+// m3GatesOverlay is a minimal m3 package exposing the guarded RPC
+// primitives for fixture dependencies.
+var m3GatesOverlay = map[string]string{"m3.go": `package m3
+
+type SendGate struct{}
+
+func (sg *SendGate) Call(data []byte) ([]byte, error)                  { return nil, nil }
+func (sg *SendGate) CallDeadline(data []byte, d uint64) ([]byte, error) { return nil, nil }
+
+type RecvGate struct{}
+
+type Message struct{}
+
+func (rg *RecvGate) Recv() *Message { return nil }
+`}
+
+func runDeadlineOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return runOn(t, []*Analyzer{DeadlineGuard}, "repro/internal/m3fs",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/m3": m3GatesOverlay})
+}
+
+func TestDeadlineGuardFlagsUnboundedCall(t *testing.T) {
+	got := runDeadlineOn(t, `package m3fs
+
+import "repro/internal/m3"
+
+func f(sg *m3.SendGate, rg *m3.RecvGate) {
+	sg.Call(nil)
+	rg.Recv()
+}
+`)
+	checkFindings(t, got, []finding{{6, "deadlineguard"}, {7, "deadlineguard"}})
+}
+
+func TestDeadlineGuardFlagsConstantZeroDeadline(t *testing.T) {
+	got := runDeadlineOn(t, `package m3fs
+
+import "repro/internal/m3"
+
+const noBudget = 0
+
+func f(sg *m3.SendGate, d uint64) {
+	sg.CallDeadline(nil, 0)
+	sg.CallDeadline(nil, noBudget)
+	sg.CallDeadline(nil, 500)
+	sg.CallDeadline(nil, d)
+}
+`)
+	// The two constant-zero sites are Call in disguise; the nonzero
+	// constant and the dynamic expression pass.
+	checkFindings(t, got, []finding{{8, "deadlineguard"}, {9, "deadlineguard"}})
+}
+
+func TestDeadlineGuardHonorsNoDeadlineComment(t *testing.T) {
+	got := runDeadlineOn(t, `package m3fs
+
+import "repro/internal/m3"
+
+func f(sg *m3.SendGate, rg *m3.RecvGate) {
+	//m3vet:nodeadline this wait is bounded by the caller's own budget
+	sg.Call(nil)
+	rg.Recv() //m3vet:nodeadline interrupt-style wait, unbounded by design
+}
+`)
+	checkFindings(t, got, nil)
+}
+
+func TestDeadlineGuardFlagsStaleComment(t *testing.T) {
+	got := runDeadlineOn(t, `package m3fs
+
+import "repro/internal/m3"
+
+//m3vet:nodeadline nothing on the next line is guarded
+func f(sg *m3.SendGate, d uint64) ([]byte, error) {
+	return sg.CallDeadline(nil, d)
+}
+`)
+	checkFindings(t, got, []finding{{5, "deadlineguard"}})
+}
+
+func TestDeadlineGuardFlagsMalformedComment(t *testing.T) {
+	got := runDeadlineOn(t, `package m3fs
+
+import "repro/internal/m3"
+
+func f(sg *m3.SendGate) {
+	//m3vet:nodeadline
+	sg.Call(nil)
+}
+`)
+	// The reason-less comment is malformed AND suppresses nothing, so
+	// the call itself is still flagged.
+	checkFindings(t, got, []finding{{6, "deadlineguard"}, {7, "deadlineguard"}})
+}
+
+func TestDeadlineGuardFlagsKernelCallService(t *testing.T) {
+	src := `package core
+
+type Kernel struct{}
+
+func (k *Kernel) callService(payload []byte) ([]byte, error) { return nil, nil }
+
+func (k *Kernel) helperA() {
+	k.callService(nil)
+}
+
+func (k *Kernel) helperB() {
+	//m3vet:nodeadline callService applies servDeadline/overload config internally
+	k.callService(nil)
+}
+`
+	got := runOn(t, []*Analyzer{DeadlineGuard}, "repro/internal/core",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, []finding{{8, "deadlineguard"}})
+}

@@ -79,6 +79,15 @@ const differentialSampleEvery sim.Time = 4096
 // lossless differential run would leave the parallel engine's most
 // delicate path untested.
 func RunDifferential(b workload.Benchmark, n int, plan fault.Plan, cfg sim.Config) (DifferentialWitness, error) {
+	return RunDifferentialOverload(b, n, plan, cfg, nil)
+}
+
+// RunDifferentialOverload is RunDifferential with an overload policy
+// armed on the system. Its point is the zero-overhead-when-off proof:
+// an armed-but-idle policy (zero deadline, zero watermarks) must
+// produce a witness bit-identical to a nil policy — not one extra
+// event, trace line, or metric (TestOverloadIdleBitIdentical).
+func RunDifferentialOverload(b workload.Benchmark, n int, plan fault.Plan, cfg sim.Config, ov *OverloadSpec) (DifferentialWitness, error) {
 	var w DifferentialWitness
 	obsHash := fnv.New64a()
 	var buf [obs.EncodedSize]byte
@@ -91,6 +100,7 @@ func RunDifferential(b workload.Benchmark, n int, plan fault.Plan, cfg sim.Confi
 		Obs:         tr,
 		SampleEvery: differentialSampleEvery,
 		Engine:      cfg,
+		Overload:    ov,
 		Tracer: func(at sim.Time, source, event string) {
 			fmt.Fprintf(legacyHash, "%d %s %s\n", at, source, event)
 		},

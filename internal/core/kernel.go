@@ -41,7 +41,9 @@ func (t *ProgTable) Get(id uint64) Program { return t.progs[id] }
 
 // Stats counts kernel activity.
 type Stats struct {
-	Syscalls     map[kif.SyscallOp]uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	Syscalls map[kif.SyscallOp]uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
 	ServiceCalls uint64
 
 	// Fault-tolerance counters, nonzero only under fault injection:
@@ -49,14 +51,33 @@ type Stats struct {
 	// died or its reply endpoint is unreachable), endpoint
 	// invalidations of a dead PE that timed out, and VPEs reaped by
 	// the death watchdog.
-	RepliesDropped      uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	RepliesDropped uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
 	FailedInvalidations uint64
-	VPEsReaped          uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	VPEsReaped uint64
 
 	// Recovery counters: kernel→service calls that hit the armed
 	// deadline, and supervised services respawned after a reap.
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
 	ServiceTimeouts uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
 	ServiceRestarts uint64
+
+	// Overload-control counters, nonzero only with EnableOverload:
+	// calls rejected by the shed controller, calls failed fast by an
+	// open circuit breaker, calls the service DTU refused at its
+	// admission watermark, and supervisor respawns delayed because the
+	// service's breaker was still open.
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	CallsShed uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	BreakerRejects uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	CallsRefused uint64
+	//m3vet:resolve sharedstate owner kernel counters are bumped only by kernel dispatcher/helper processes
+	RestartsHeld uint64
 }
 
 // SyscallCount is one (opcode, count) pair of the syscall counter map.
@@ -129,8 +150,12 @@ type Kernel struct {
 
 	// servDeadline bounds kernel→service calls in cycles; zero (the
 	// default) keeps them unbounded and schedules no deadline events.
-	// Armed only by internal/fault (m3vet: faultsite).
+	// Armed by internal/fault (m3vet: faultsite) or EnableOverload.
 	servDeadline sim.Time
+
+	// overload is the armed overload-control state (shed controllers,
+	// circuit breakers); nil means every gate below is a no-op.
+	overload *kernelOverload
 
 	inits  []initAction
 	booted bool
@@ -142,11 +167,17 @@ type Kernel struct {
 	// waits on a gate owned by a dead VPE.
 	actSig *sim.Signal
 
-	// Cached metric handles (nil-safe, inert without a tracer).
+	// Cached metric handles (nil-safe, inert without a tracer). The
+	// overload pair registers lazily on first increment so runs that
+	// never shed keep identical metric snapshots.
 	mSyscalls           *obs.Counter
 	mEPReconfigs        *obs.Counter
 	mCapRevocations     *obs.Counter
 	mSupervisorRestarts *obs.Counter
+	//m3vet:resolve sharedstate owner registered lazily from kernel helper processes only
+	mCallsShed *obs.Counter
+	//m3vet:resolve sharedstate owner registered lazily from kernel helper processes only
+	mBreakerOpens *obs.Counter
 
 	Stats Stats
 }

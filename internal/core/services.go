@@ -7,6 +7,7 @@ import (
 	"repro/internal/dtu"
 	"repro/internal/kif"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/sim"
 )
 
@@ -65,7 +66,17 @@ func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dt
 // helper forever. With no deadline armed (every fault-free run) the
 // waits are unbounded and not a single extra event is scheduled.
 // Callers fence stale incarnations with serviceCurrent before calling.
-func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, span obs.SpanID) (*dtu.Message, kif.Error) {
+//
+// With overload control armed (EnableOverload) the call first passes
+// the service's circuit breaker and shed controller, its header
+// carries the deadline so downstream DTUs can drop it once expired,
+// and the outcome feeds the breaker: deadline misses count as
+// failures, admission refusals by the service DTU do not (the service
+// answered promptly — that is control, not collapse).
+func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, span obs.SpanID, pr overload.Priority) (*dtu.Message, kif.Error) {
+	if aerr := k.admitServiceCall(svc, pr); aerr != kif.OK {
+		return nil, aerr
+	}
 	deadline := k.servDeadline
 	k.nextServOp++
 	opID := k.nextServOp
@@ -78,9 +89,12 @@ func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, sp
 			Kind: obs.EvSvcCallStart, Span: span,
 			Arg0: uint64(svc.sendEP), Arg1: opID})
 	}
-	// Arm the span register once: the DTU consumes it only when a send
-	// succeeds, so credit-denied retries keep the id.
+	// Arm the span and deadline registers once: the DTU consumes them
+	// only when a send succeeds, so credit-denied retries keep both.
 	k.PE.DTU.StampSpan(span)
+	if k.overload != nil && deadline > 0 {
+		k.PE.DTU.StampDeadline(deadline)
+	}
 	defer func() {
 		if tr := k.Plat.Obs; tr.On() {
 			now := k.Plat.Eng.Now()
@@ -103,6 +117,7 @@ func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, sp
 			if errors.Is(werr, dtu.ErrTimeout) {
 				delete(k.pendingServ, opID)
 				k.Stats.ServiceTimeouts++
+				k.noteServiceCallOutcome(svc, kif.ErrTimeout)
 				return nil, kif.ErrTimeout
 			}
 		}
@@ -133,8 +148,26 @@ func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, sp
 		// is acked by the dispatcher, which is exactly the behavior for
 		// any other unsolicited message on the reply gate.
 		k.Stats.ServiceTimeouts++
+		k.noteServiceCallOutcome(svc, kif.ErrTimeout)
 		return nil, kif.ErrTimeout
 	}
+	if pend.msg.Overloaded() {
+		// The service DTU refused the request at its admission watermark
+		// and fast-failed it; the slot never held real work, so this is
+		// not a breaker failure — callers retry under a bounded budget.
+		k.PE.DTU.Ack(kif.KServReplyEP, pend.msg)
+		k.Stats.CallsRefused++
+		return nil, kif.ErrOverload
+	}
+	if pend.msg.Expired() {
+		// The request outlived its deadline in flight and was dropped
+		// before execution: a deadline miss, and breaker food.
+		k.PE.DTU.Ack(kif.KServReplyEP, pend.msg)
+		k.Stats.ServiceTimeouts++
+		k.noteServiceCallOutcome(svc, kif.ErrTimeout)
+		return nil, kif.ErrTimeout
+	}
+	k.noteServiceCallOutcome(svc, kif.OK)
 	return pend.msg, kif.OK
 }
 
@@ -164,7 +197,10 @@ func (k *Kernel) sysOpenSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dtu
 		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServOpen)).Str(arg)
-		resp, cerr := k.callService(hp, svc, req.Bytes(), obs.SpanID(msg.Span))
+		// Session opens are the first work to shed under load: refusing a
+		// new session is cheap, abandoning an established one is not.
+		//m3vet:nodeadline callService applies servDeadline/overload config internally
+		resp, cerr := k.callService(hp, svc, req.Bytes(), obs.SpanID(msg.Span), overload.PriorityLow)
 		if cerr != kif.OK {
 			k.replyErr(hp, msg, cerr)
 			return
@@ -260,7 +296,8 @@ func (k *Kernel) sysExchangeSess(p *sim.Process, vpe *VPE, is *kif.IStream, msg 
 			req.U64(0)
 		}
 		req.U64(capsCount).Blob(args)
-		resp, cerr := k.callService(hp, sess.Service, req.Bytes(), obs.SpanID(msg.Span))
+		//m3vet:nodeadline callService applies servDeadline/overload config internally
+		resp, cerr := k.callService(hp, sess.Service, req.Bytes(), obs.SpanID(msg.Span), overload.PriorityNormal)
 		if cerr != kif.OK {
 			k.replyErr(hp, msg, cerr)
 			return

@@ -28,16 +28,20 @@ type supervised struct {
 	name     string
 	peType   tile.CoreType
 	prog     Program
-	policy   RestartPolicy
+	policy RestartPolicy
+	//m3vet:resolve sharedstate owner restart bookkeeping is touched only by kernel reap/respawn helpers
 	restarts int
-	vpe      *VPE
+	//m3vet:resolve sharedstate owner restart bookkeeping is touched only by kernel reap/respawn helpers
+	vpe *VPE
 
 	// region is the stable DRAM region pinned for this service (set on
 	// its first ReqMemStable): every incarnation gets the same bytes
 	// back, which is what makes the m3fs journal survive a crash.
 	region struct {
+		//m3vet:resolve sharedstate owner pinned-region record is written only by kernel helper processes
 		addr, size int
-		valid      bool
+		//m3vet:resolve sharedstate owner pinned-region record is written only by kernel helper processes
+		valid bool
 	}
 }
 
@@ -119,6 +123,17 @@ func (k *Kernel) maybeRespawn(vpe *VPE) {
 	}
 	sup.restarts++
 	delay := sup.policy.Backoff << (sup.restarts - 1)
+	if hold := k.respawnHold(sup.name); hold > 0 {
+		// The service's circuit breaker is still open: clients are being
+		// failed fast anyway, so restarting into the standing overload
+		// would only feed the storm. Hold the respawn until the breaker's
+		// open window has passed (restart-storm suppression).
+		delay += hold
+		k.Stats.RestartsHeld++
+		if k.Plat.Eng.Tracing() {
+			k.Plat.Eng.Emit("kernel", fmt.Sprintf("supervisor: holding %s respawn %d cycles for open breaker", sup.name, hold))
+		}
+	}
 	k.Plat.Eng.Spawn("kernel-respawn", func(p *sim.Process) {
 		p.Sleep(delay)
 		pe := k.allocPE(sup.peType)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dtu"
 	"repro/internal/kif"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/tile"
 )
@@ -188,8 +189,12 @@ func (k *Kernel) closeSession(sess *SessObj) {
 		}
 		var req kif.OStream
 		req.U64(uint64(kif.ServCloseSess)).U64(sess.Ident)
-		// Session teardown has no originating request: no span.
-		resp, cerr := k.callService(hp, svc, req.Bytes(), 0)
+		// Session teardown has no originating request: no span. It is
+		// never shed (PriorityHigh): dropping a close leaks service-side
+		// session state, which is exactly what an overloaded service
+		// cannot afford.
+		//m3vet:nodeadline callService applies servDeadline/overload config internally
+		resp, cerr := k.callService(hp, svc, req.Bytes(), 0, overload.PriorityHigh)
 		if cerr == kif.OK {
 			k.PE.DTU.Ack(kif.KServReplyEP, resp)
 		}

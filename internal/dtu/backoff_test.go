@@ -1,0 +1,221 @@
+package dtu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func TestNextBackoffCapsWithoutWrap(t *testing.T) {
+	fc := &FaultConfig{Timeout: 100, MaxBackoff: 800}
+	var got []sim.Time
+	for cur := fc.Timeout; len(got) < 5; cur = fc.nextBackoff(cur) {
+		got = append(got, cur)
+	}
+	want := []sim.Time{100, 200, 400, 800, 800}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff chain = %v, want %v", got, want)
+		}
+	}
+	// Near the top of the unsigned range the doubling must clamp, not
+	// wrap into a tiny timeout.
+	top := ^sim.Time(0)
+	fc2 := &FaultConfig{Timeout: top / 2, MaxBackoff: top}
+	if nb := fc2.nextBackoff(top - 1); nb != top {
+		t.Fatalf("nextBackoff(max-1) = %d, want clamp at %d", nb, top)
+	}
+	if nb := fc2.nextBackoff(fc2.Timeout); nb != top {
+		t.Fatalf("nextBackoff(max/2) = %d, want clamp at %d", nb, top)
+	}
+}
+
+func TestEnableFaultsBackoffDefaults(t *testing.T) {
+	r := newRig(t)
+	cfg := FaultConfig{Timeout: 2000}
+	r.d0.EnableFaults(&cfg)
+	if cfg.MaxBackoff != 2000*DefaultBackoffFactor {
+		t.Fatalf("default MaxBackoff = %d, want %d", cfg.MaxBackoff, 2000*DefaultBackoffFactor)
+	}
+	// A timeout too large to multiply caps at itself instead of
+	// overflowing the default computation.
+	huge := FaultConfig{Timeout: ^sim.Time(0) / 2}
+	r.d0.EnableFaults(&huge)
+	if huge.MaxBackoff != huge.Timeout {
+		t.Fatalf("huge-timeout MaxBackoff = %d, want %d", huge.MaxBackoff, huge.Timeout)
+	}
+	// An explicit cap below the base timeout is lifted to it: the first
+	// attempt must be allowed its full configured timeout.
+	low := FaultConfig{Timeout: 500, MaxBackoff: 10}
+	r.d0.EnableFaults(&low)
+	if low.MaxBackoff != 500 {
+		t.Fatalf("inverted MaxBackoff = %d, want lifted to 500", low.MaxBackoff)
+	}
+}
+
+func TestBackoffCapBoundsPartitionAbortTime(t *testing.T) {
+	// A fully partitioned receiver with a long retry budget: the abort
+	// must arrive on the capped-backoff schedule, not the uncapped
+	// exponential one (which would be ~5x slower here).
+	r := newFaultRig(t, FaultConfig{Timeout: 50, MaxRetries: 8, MaxBackoff: 200},
+		func(pkt *noc.Packet) noc.LinkFault {
+			if _, ok := pkt.Payload.(*msgPacket); ok {
+				return noc.LinkDrop
+			}
+			return noc.LinkOK
+		})
+	r.channel(t, 4)
+	r.eng.Spawn("sender", func(p *sim.Process) {
+		if err := r.d0.Send(p, 1, []byte("void"), -1, 0); !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+	r.eng.Run()
+	if r.d0.Stats.Retransmits != 8 {
+		t.Fatalf("retransmits = %d, want MaxRetries", r.d0.Stats.Retransmits)
+	}
+	// Capped waits: 50+100+200*7 = 1550; uncapped would be 50*(2^9-1) =
+	// 25550. Allow slack for NoC latencies.
+	if now := r.eng.Now(); now > 3000 {
+		t.Fatalf("abort took %d cycles, want capped-backoff schedule (~1550)", now)
+	}
+}
+
+func TestNackStormRetransmitsWithoutBackoff(t *testing.T) {
+	// Sustained corruption: every copy is NACKed and retransmitted
+	// immediately. The retry budget must bound the storm, and because
+	// NACKs bypass the timeout wait entirely, the whole exchange stays
+	// far under one timeout period.
+	const storms = 4
+	corrupted := 0
+	r := newFaultRig(t, FaultConfig{Timeout: 10000}, func(pkt *noc.Packet) noc.LinkFault {
+		if _, ok := pkt.Payload.(*msgPacket); ok && corrupted < storms {
+			corrupted++
+			return noc.LinkCorrupt
+		}
+		return noc.LinkOK
+	})
+	r.channel(t, 4)
+	// Completion time is sampled inside the process: the engine keeps
+	// running until stale (harmless) timeout timers drain, so the final
+	// engine clock is not the delivery time.
+	var doneAt sim.Time
+	r.eng.Spawn("receiver", func(p *sim.Process) {
+		msg, _ := r.d1.WaitMsg(p, 0)
+		r.d1.Ack(0, msg)
+	})
+	r.eng.Spawn("sender", func(p *sim.Process) {
+		if err := r.d0.Send(p, 1, []byte("ping"), -1, 0); err != nil {
+			t.Error(err)
+		}
+		doneAt = r.eng.Now()
+	})
+	r.eng.Run()
+	if r.d0.Stats.Retransmits != storms {
+		t.Fatalf("retransmits = %d, want %d", r.d0.Stats.Retransmits, storms)
+	}
+	if r.d1.Stats.Poisoned != storms {
+		t.Fatalf("poisoned = %d, want %d", r.d1.Stats.Poisoned, storms)
+	}
+	if r.d1.Stats.MsgsReceived != 1 {
+		t.Fatalf("delivered = %d, want exactly once", r.d1.Stats.MsgsReceived)
+	}
+	if doneAt >= 10000 {
+		t.Fatalf("exchange took %d cycles — a NACK waited out the timeout", doneAt)
+	}
+}
+
+func TestNackStormExhaustsRetryBudget(t *testing.T) {
+	// If every copy is corrupted the NACK storm must still end in a
+	// bounded abort, and fast: no copy ever waits out a timeout.
+	r := newFaultRig(t, FaultConfig{Timeout: 10000, MaxRetries: 3},
+		func(pkt *noc.Packet) noc.LinkFault {
+			if _, ok := pkt.Payload.(*msgPacket); ok {
+				return noc.LinkCorrupt
+			}
+			return noc.LinkOK
+		})
+	r.channel(t, 4)
+	var doneAt sim.Time
+	r.eng.Spawn("sender", func(p *sim.Process) {
+		if err := r.d0.Send(p, 1, []byte("doomed"), -1, 0); !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		doneAt = r.eng.Now()
+	})
+	r.eng.Run()
+	if r.d0.Stats.SendsAborted != 1 || r.d0.Stats.Retransmits != 3 {
+		t.Fatalf("aborts/retransmits = %d/%d, want 1/3",
+			r.d0.Stats.SendsAborted, r.d0.Stats.Retransmits)
+	}
+	if doneAt >= 10000 {
+		t.Fatalf("abort took %d cycles — NACKs should preempt every timeout", doneAt)
+	}
+}
+
+func TestDedupWindowAdvancesAndStaysBounded(t *testing.T) {
+	r := newRig(t)
+	d := r.d0
+	// Out-of-order arrivals park above the floor...
+	if d.markSeen(1, 2) || d.markSeen(1, 3) {
+		t.Fatal("fresh sequence numbers reported as duplicates")
+	}
+	s := d.seen[1]
+	if s.floor != 0 || len(s.ahead) != 2 {
+		t.Fatalf("window = floor %d / %d ahead, want 0/2", s.floor, len(s.ahead))
+	}
+	// ...and filling the gap collapses them into the floor.
+	if d.markSeen(1, 1) {
+		t.Fatal("gap-filling seq reported as duplicate")
+	}
+	if s.floor != 3 || len(s.ahead) != 0 {
+		t.Fatalf("window = floor %d / %d ahead, want 3/0", s.floor, len(s.ahead))
+	}
+	// Everything at or below the floor is a duplicate, with no map entry.
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !d.markSeen(1, seq) {
+			t.Fatalf("seq %d below floor not deduplicated", seq)
+		}
+	}
+	// A long in-order run keeps the window at O(1).
+	for seq := uint64(4); seq <= 4096; seq++ {
+		if d.markSeen(1, seq) {
+			t.Fatalf("in-order seq %d reported as duplicate", seq)
+		}
+	}
+	if s.floor != 4096 || len(s.ahead) != 0 {
+		t.Fatalf("after in-order run: floor %d / %d ahead, want 4096/0", s.floor, len(s.ahead))
+	}
+	// Windows are per-sender: another source starts fresh.
+	if d.markSeen(2, 1) {
+		t.Fatal("fresh sender's seq 1 reported as duplicate")
+	}
+}
+
+func TestDedupWindowWraparound(t *testing.T) {
+	// A floor parked at the top of the range must not hang or wrap the
+	// gap-filling walk (floor+1 overflows to 0, which is never a valid
+	// sequence number).
+	r := newRig(t)
+	d := r.d0
+	top := ^uint64(0)
+	if d.markSeen(1, top-1) || d.markSeen(1, top) {
+		t.Fatal("top-of-range seqs reported as duplicates")
+	}
+	s := d.seen[1]
+	if len(s.ahead) != 2 {
+		t.Fatalf("ahead = %d entries, want 2 (floor cannot reach them from 0)", len(s.ahead))
+	}
+	if !d.markSeen(1, top) {
+		t.Fatal("replay of top seq not deduplicated")
+	}
+	// Low seqs still work alongside the parked high ones.
+	if d.markSeen(1, 1) {
+		t.Fatal("seq 1 reported as duplicate")
+	}
+	if s.floor != 1 {
+		t.Fatalf("floor = %d, want 1", s.floor)
+	}
+}

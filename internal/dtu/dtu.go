@@ -64,8 +64,8 @@ type DTU struct {
 	nextSeq uint64
 	//m3vet:resolve sharedstate owner the send table is inserted/deleted in transmit; shard delivery only reads it (ack/nack flags are per-entry, see pendingSend)
 	sends map[uint64]*pendingSend
-	//m3vet:resolve sharedstate owner dedup set is updated in serial Deliver, which shard code reaches through sc.Defer
-	seen       map[seqKey]bool
+	//m3vet:resolve sharedstate owner dedup windows are updated in serial Deliver, which shard code reaches through sc.Defer
+	seen       map[noc.NodeID]*dedupState
 	coreStatus func() bool
 
 	// reqs feeds the DTU's internal engine that serves incoming RDMA
@@ -101,11 +101,24 @@ type DTU struct {
 	//m3vet:resolve sharedstate owner the span register is armed and consumed by the owning core's process
 	curSpan uint64
 
+	// Overload-control state, live only when overload is non-nil (see
+	// EnableOverload): the admission/deadline configuration and the
+	// one-slot deadline register software arms with StampDeadline, a
+	// sibling of the span register below.
+	overload *OverloadConfig
+	//m3vet:resolve sharedstate owner the deadline register is armed and consumed by the owning core's process
+	curDeadline sim.Time
+
 	// Cached metric handles (nil-safe, inert without a tracer); the
-	// registry entries are keyed by node id.
-	mCreditStalls *obs.Counter
-	mRetransmits  *obs.Counter
-	mNacks        *obs.Counter
+	// registry entries are keyed by node id. The overload counters are
+	// registered lazily on first increment — see overload.go.
+	mCreditStalls  *obs.Counter
+	mRetransmits   *obs.Counter
+	mNacks         *obs.Counter
+	//m3vet:resolve sharedstate owner registered lazily in serial delivery context (admit runs in Deliver)
+	mDeadlineDrops *obs.Counter
+	//m3vet:resolve sharedstate owner registered lazily in serial delivery context (admit runs in Deliver)
+	mAdmitRefusals *obs.Counter
 
 	Stats Stats
 }
@@ -226,7 +239,7 @@ func New(eng *sim.Engine, net *noc.Network, node noc.NodeID, spm *mem.SPM, numEP
 		CreditAvail: sim.NewSignal(eng),
 		pending:     make(map[uint64]*pendingOp),
 		sends:       make(map[uint64]*pendingSend),
-		seen:        make(map[seqKey]bool),
+		seen:        make(map[noc.NodeID]*dedupState),
 		reqs:        sim.NewQueue[*noc.Packet](eng),
 	}
 	net.Attach(node, d)
@@ -313,6 +326,9 @@ func (d *DTU) Send(p *sim.Process, ep int, data []byte, replyEP int, replyLabel 
 	msg.replyLabel = replyLabel
 	msg.creditEP = ep
 	msg.Span = d.takeSpan()
+	if d.overload != nil {
+		msg.Deadline = d.takeDeadline()
+	}
 	msg.sentAt = d.eng.Now()
 	d.Stats.MsgsSent++
 	if d.eng.Tracing() {
@@ -729,16 +745,14 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 		// Ack every copy — the previous ack may itself have been lost —
 		// but deliver only the first.
 		d.sendCtrl(pkt.Src, &ackPacket{Seq: pkt.Seq})
-		key := seqKey{src: pkt.Src, seq: pkt.Seq}
-		if d.seen[key] {
+		if d.markSeen(pkt.Src, pkt.Seq) {
 			d.Stats.DupsDropped++
 			return
 		}
-		d.seen[key] = true
 	}
 	switch pl := pkt.Payload.(type) {
 	case *msgPacket:
-		d.receive(pl.TargetEP, pl.Msg)
+		d.receive(pl.TargetEP, pl.Msg, true)
 	case *replyPacket:
 		if pl.CreditEP >= 0 && pl.CreditEP < len(d.eps) {
 			s := &d.eps[pl.CreditEP]
@@ -747,7 +761,7 @@ func (d *DTU) Deliver(pkt *noc.Packet) {
 				d.CreditAvail.Broadcast()
 			}
 		}
-		d.receive(pl.TargetEP, pl.Msg)
+		d.receive(pl.TargetEP, pl.Msg, false)
 	case *creditPacket:
 		if pl.SendEP >= 0 && pl.SendEP < len(d.eps) {
 			s := &d.eps[pl.SendEP]
@@ -837,8 +851,11 @@ func (d *DTU) DeliverShard(sc *sim.ShardCtx, pkt *noc.Packet) {
 
 // receive places a message into the ringbuffer of receive endpoint ep,
 // writing it into the SPM like the hardware does, or drops it when the
-// buffer is full or the endpoint is not receiving.
-func (d *DTU) receive(ep int, msg *Message) {
+// buffer is full or the endpoint is not receiving. isRequest separates
+// request messages from replies: only requests are subject to overload
+// admission — a reply's slot was budgeted by the requester's credit,
+// and refusing it would strand the caller.
+func (d *DTU) receive(ep int, msg *Message, isRequest bool) {
 	// The drop paths recycle the message: it was never inserted into a
 	// ringbuffer, the reliable layer acked and deduplicated the carrying
 	// packet before receive, and no other reference exists — the message
@@ -849,6 +866,9 @@ func (d *DTU) receive(ep int, msg *Message) {
 		return
 	}
 	r := &d.eps[ep]
+	if d.overload != nil && isRequest && !d.admit(ep, r, msg) {
+		return
+	}
 	if r.occupied >= r.SlotCount || HeaderSize+len(msg.Data) > r.SlotSize {
 		d.Stats.MsgsDropped++
 		d.freeMessage(msg)

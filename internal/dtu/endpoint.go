@@ -139,6 +139,17 @@ type Message struct {
 	//m3vet:resolve sharedstate message filled once at delivery, then handed off to the fetching software
 	Span uint64
 
+	// Deadline is the propagated cycle budget riding in the header of
+	// an overload-controlled request (zero: none). Receivers compare
+	// the sim clock against sentAt+Deadline and drop expired work
+	// before it enters a ringbuffer (docs/OVERLOAD.md).
+	//m3vet:resolve sharedstate message filled once at delivery, then handed off to the fetching software
+	Deadline sim.Time
+	// flags marks overload fast-fail replies (msgFlagOverload,
+	// msgFlagExpired); see Overloaded/Expired.
+	//m3vet:resolve sharedstate message filled once at delivery, then handed off to the fetching software
+	flags uint8
+
 	//m3vet:resolve sharedstate message set at delivery; read/updated only by the owning fetcher afterwards
 	slot int
 	//m3vet:resolve sharedstate message set at delivery; read/updated only by the owning fetcher afterwards
@@ -194,6 +205,14 @@ type Stats struct {
 	DupsDropped uint64
 	//m3vet:resolve sharedstate shard only the destination shard's delivery context counts poisoned arrivals at its own DTU
 	Poisoned uint64
+
+	// Overload-control counters, nonzero only with EnableOverload:
+	// requests dropped because their propagated deadline expired in
+	// flight, and requests refused by the admission watermark.
+	//m3vet:resolve sharedstate owner counted in process context or serial delivery
+	DeadlineDrops uint64
+	//m3vet:resolve sharedstate owner counted in process context or serial delivery
+	OverloadRefused uint64
 
 	// IdleCycles accumulates the time the attached core spent waiting
 	// on the DTU — for messages, credits, or transfer completions. The

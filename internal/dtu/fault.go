@@ -17,6 +17,12 @@ import (
 const (
 	DefaultTimeout    sim.Time = 2000
 	DefaultMaxRetries          = 6
+	// DefaultBackoffFactor bounds the exponential backoff: the per-
+	// attempt timeout never exceeds Timeout * DefaultBackoffFactor
+	// (32 = five doublings, matching a retry budget of 6 — larger
+	// budgets keep retrying at the cap instead of overflowing into
+	// multi-epoch sleeps).
+	DefaultBackoffFactor sim.Time = 32
 )
 
 // FaultConfig switches a DTU into fault-tolerant operation. With it
@@ -36,6 +42,12 @@ type FaultConfig struct {
 	// MaxRetries bounds the retransmissions/retries of one transfer
 	// before it aborts with ErrTimeout.
 	MaxRetries int
+	// MaxBackoff caps the per-attempt timeout the exponential backoff
+	// can reach. Zero picks Timeout * DefaultBackoffFactor. The cap is
+	// what keeps a long retry budget from doubling into overflow:
+	// sim.Time is unsigned, and an uncapped doubling chain would
+	// eventually wrap into a tiny timeout and retransmit-storm.
+	MaxBackoff sim.Time
 	// PreSend, when set, runs before every fault-gated transfer; the
 	// fault layer uses it to inject transfer-engine stalls.
 	PreSend func(p *sim.Process)
@@ -57,19 +69,52 @@ func (d *DTU) EnableFaults(cfg *FaultConfig) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = DefaultMaxRetries
 	}
+	if cfg.MaxBackoff <= 0 {
+		// Overflow-safe default: a Timeout within a factor of the top of
+		// the range caps at itself rather than wrapping.
+		if cfg.Timeout > ^sim.Time(0)/DefaultBackoffFactor {
+			cfg.MaxBackoff = cfg.Timeout
+		} else {
+			cfg.MaxBackoff = cfg.Timeout * DefaultBackoffFactor
+		}
+	}
+	if cfg.MaxBackoff < cfg.Timeout {
+		cfg.MaxBackoff = cfg.Timeout
+	}
 	d.faults = cfg
 }
 
+// nextBackoff doubles a timeout under the configured cap without ever
+// wrapping: sim.Time is unsigned, so `t *= 2` on a large t would
+// silently produce a shorter timeout than the attempt before it.
+func (fc *FaultConfig) nextBackoff(t sim.Time) sim.Time {
+	if t >= fc.MaxBackoff/2 {
+		return fc.MaxBackoff
+	}
+	return t * 2
+}
+
 // CallDeadline reports the call cycle budget of the armed fault
-// configuration, zero when faults are off or no deadline is armed.
+// configuration — or, when the fault layer arms none, of the overload
+// configuration (see EnableOverload) — zero when neither arms one.
 // Reading it is safe from any layer: it only tells software whether
 // the run wants bounded calls, it arms nothing.
 func (d *DTU) CallDeadline() sim.Time {
-	if d.faults == nil {
-		return 0
+	if d.faults != nil && d.faults.CallDeadline > 0 {
+		return d.faults.CallDeadline
 	}
-	return d.faults.CallDeadline
+	if d.overload != nil {
+		return d.overload.CallDeadline
+	}
+	return 0
 }
+
+// Faulty reports whether the fault layer is armed on this DTU.
+// Software uses it to pick its failure semantics: with faults armed a
+// timeout may mean a dead service incarnation (worth a session
+// recovery); with only overload armed it means shed or expired work,
+// which a bounded retry handles without touching the session.
+func (d *DTU) Faulty() bool { return d.faults != nil }
 
 // SetCoreStatus installs the callback a probe response reads to learn
 // whether the attached core is alive. The DTU is a separate hardware
@@ -109,6 +154,40 @@ type pendingSend struct {
 type seqKey struct {
 	src noc.NodeID
 	seq uint64
+}
+
+// dedupState is the per-sender duplicate-suppression window. Sequence
+// numbers from one sender mint monotonically from 1, so instead of
+// remembering every (sender, seq) pair forever — memory that only
+// grows over a long run — the receiver keeps a floor at or below which
+// everything is a known duplicate, plus the sparse set of out-of-order
+// arrivals above it. The floor advances as the gaps fill, so `ahead`
+// stays bounded by the sender's in-flight window however many
+// transfers the run carries.
+type dedupState struct {
+	//m3vet:resolve sharedstate owner dedup windows advance in serial Deliver only
+	floor uint64
+	//m3vet:resolve sharedstate owner dedup windows advance in serial Deliver only
+	ahead map[uint64]bool
+}
+
+// markSeen records (src, seq) in the dedup window and reports whether
+// the transfer was already delivered.
+func (d *DTU) markSeen(src noc.NodeID, seq uint64) bool {
+	s := d.seen[src]
+	if s == nil {
+		s = &dedupState{ahead: make(map[uint64]bool)}
+		d.seen[src] = s
+	}
+	if seq <= s.floor || s.ahead[seq] {
+		return true
+	}
+	s.ahead[seq] = true
+	for s.ahead[s.floor+1] {
+		delete(s.ahead, s.floor+1)
+		s.floor++
+	}
+	return false
 }
 
 // transmit pushes a message-class packet (message, reply, credit
@@ -171,7 +250,8 @@ func (d *DTU) transmit(p *sim.Process, pkt *noc.Packet) error {
 			return err
 		}
 		if !ps.nacked {
-			timeout *= 2 // silence: back off; a NACK retransmits immediately
+			// Silence: back off (capped); a NACK retransmits immediately.
+			timeout = d.faults.nextBackoff(timeout)
 		}
 		ps.nacked = false
 		d.Stats.Retransmits++
@@ -230,7 +310,7 @@ func (d *DTU) doOp(p *sim.Process, send func(op uint64)) (*pendingOp, error) {
 			return nil, fmt.Errorf("%w: remote operation unanswered after %d attempts",
 				ErrTimeout, attempt+1)
 		}
-		timeout *= 2
+		timeout = d.faults.nextBackoff(timeout)
 	}
 }
 

@@ -74,6 +74,12 @@ const (
 	ErrVPEGone
 	ErrRefused
 	ErrTimeout
+	// ErrOverload reports a request refused by overload control —
+	// admission watermark, shed controller, or an open circuit
+	// breaker — before any work was done. Unlike ErrTimeout it is a
+	// fast failure: clients retry it under a bounded retry budget
+	// rather than triggering session recovery (docs/OVERLOAD.md).
+	ErrOverload
 )
 
 var errNames = map[Error]string{
@@ -83,7 +89,7 @@ var errNames = map[Error]string{
 	ErrNoSuchFile: "no such file or directory", ErrExists: "already exists",
 	ErrUnsupported: "unsupported", ErrEndOfFile: "end of file",
 	ErrVPEGone: "vpe gone", ErrRefused: "refused by service",
-	ErrTimeout: "timed out",
+	ErrTimeout: "timed out", ErrOverload: "overloaded",
 }
 
 func (e Error) Error() string {

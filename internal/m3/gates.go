@@ -223,6 +223,13 @@ func (sg *SendGate) sendDeadline(data []byte, replyEP int, label uint64, deadlin
 	if span != 0 {
 		e.DTU().StampSpan(span)
 	}
+	// A bounded call also propagates its budget in the message header
+	// (overload-armed DTUs only; the stamp is a no-op otherwise), so
+	// every downstream hop can drop the request once it is already
+	// dead. Like the span register, it survives credit-denied retries.
+	if deadline > 0 {
+		e.DTU().StampDeadline(deadline)
+	}
 	for {
 		err = e.DTU().Send(e.P(), ep, data, replyEP, label)
 		if err == nil {
@@ -264,6 +271,7 @@ func (sg *SendGate) TrySend(data []byte) error {
 // Call sends data and waits for the reply (the common synchronous
 // pattern libm3 builds on top of asynchronous DTU messaging, §4.5.6).
 func (sg *SendGate) Call(data []byte) ([]byte, error) {
+	//m3vet:nodeadline Call IS the deliberately unbounded variant; bounded callers use CallDeadline
 	return sg.CallDeadline(data, 0)
 }
 
@@ -297,7 +305,7 @@ func (sg *SendGate) CallDeadline(data []byte, deadline sim.Time) ([]byte, error)
 	msg := e.recvReplyDeadline(label, deadline)
 	if tr.On() {
 		fail := uint64(0)
-		if msg == nil {
+		if msg == nil || msg.Overloaded() || msg.Expired() {
 			fail = 1
 		}
 		tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LApp,
@@ -306,6 +314,18 @@ func (sg *SendGate) CallDeadline(data []byte, deadline sim.Time) ([]byte, error)
 	if msg == nil {
 		e.DiscardReply(label)
 		return nil, fmt.Errorf("m3: call reply: %w", kif.ErrTimeout)
+	}
+	// Overload fast-fail replies (docs/OVERLOAD.md): an admission
+	// refusal surfaces as the typed kif.ErrOverload — retry it under a
+	// budget, not via session recovery — while an in-flight deadline
+	// expiry is a deadline miss like any other timeout.
+	if msg.Overloaded() {
+		e.DTU().Ack(kif.CallReplyEP, msg)
+		return nil, fmt.Errorf("m3: call refused: %w", kif.ErrOverload)
+	}
+	if msg.Expired() {
+		e.DTU().Ack(kif.CallReplyEP, msg)
+		return nil, fmt.Errorf("m3: call expired in flight: %w", kif.ErrTimeout)
 	}
 	e.Ctx.Compute(CostCallUnmarshal)
 	data = msg.Data
@@ -323,6 +343,14 @@ func (sg *SendGate) CollectReplyDeadline(label uint64, deadline sim.Time) ([]byt
 	if msg == nil {
 		e.DiscardReply(label)
 		return nil, fmt.Errorf("m3: collect reply: %w", kif.ErrTimeout)
+	}
+	if msg.Overloaded() {
+		e.DTU().Ack(kif.CallReplyEP, msg)
+		return nil, fmt.Errorf("m3: collect reply refused: %w", kif.ErrOverload)
+	}
+	if msg.Expired() {
+		e.DTU().Ack(kif.CallReplyEP, msg)
+		return nil, fmt.Errorf("m3: collect reply expired in flight: %w", kif.ErrTimeout)
 	}
 	data := msg.Data
 	e.DTU().Ack(kif.CallReplyEP, msg)

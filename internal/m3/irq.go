@@ -90,6 +90,7 @@ func NewInterruptGate(env *Env, pending int) (*InterruptGate, kif.CapSel, error)
 // composes with waiting for any other message. Returning acknowledges
 // the interrupt: the reply restores the device's send credit.
 func (ig *InterruptGate) Wait() (TimerTick, error) {
+	//m3vet:nodeadline waiting for the next interrupt is unbounded by design
 	msg := ig.RG.Recv()
 	tick, err := DecodeTick(msg.Data)
 	ig.ack(msg)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kif"
 	"repro/internal/m3"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/sim"
 )
 
@@ -41,27 +42,59 @@ const (
 type Client struct {
 	env     *m3.Env
 	service string
-	sess    kif.CapSel
-	sg      *m3.SendGate
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	sess kif.CapSel
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	sg *m3.SendGate
 
 	// key/seq form the idempotency tokens: key is the client's PE
 	// number, seq a monotonic counter for mutating operations.
 	key uint64
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
 	seq uint64
 	// gen counts established sessions; files opened under an older gen
 	// re-open themselves before their next operation.
-	gen        uint64
-	files      []*file
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	gen uint64
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	files []*file
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
 	recovering bool
 
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
 	mSessionReopens *obs.Counter
+
+	// breaker is the client-side circuit breaker, created lazily on the
+	// first call of an overload-armed run (env.DTU().Overloaded()); nil
+	// on every other run, so plain runs allocate and check nothing.
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	breaker *overload.Breaker
+
+	// ShedRetries counts bounded retries after overload refusals;
+	// BreakerRejects counts calls failed fast by the open client
+	// breaker (tests and the bench harness).
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	ShedRetries uint64
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	BreakerRejects uint64
+
+	// ShedRetryAttempts tunes the bounded retry budget applied to
+	// overload refusals: 0 picks the overload package default, a
+	// negative value disables retries entirely so refusals surface
+	// immediately (the eload harness uses this to measure the raw
+	// fast-fail latency).
+	//m3vet:resolve sharedstate owner set once by the driving harness before traffic starts, read by the owning VPE's process
+	ShedRetryAttempts int
 
 	// AppendBlocks overrides the per-append preallocation (0 = server
 	// default); NoMerge forces separate extents (Figure 4 experiment).
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
 	AppendBlocks int
-	NoMerge      bool
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
+	NoMerge bool
 
 	// Recoveries counts successful session re-establishments (tests).
+	//m3vet:resolve sharedstate owner client state is driven only by the owning VPE's process
 	Recoveries uint64
 }
 
@@ -83,7 +116,10 @@ func Mount(env *m3.Env, service string) (*Client, error) {
 		sess, err := env.OpenSess(service, "")
 		if err != nil {
 			lastErr = fmt.Errorf("m3fs: open session: %w", err)
-			if errors.Is(err, kif.ErrNoSuchService) {
+			// Not registered yet (boot race) or shed by the overloaded
+			// kernel/service: back off and retry, bounded by the attempt
+			// budget.
+			if errors.Is(err, kif.ErrNoSuchService) || errors.Is(err, kif.ErrOverload) {
 				env.P().Sleep(costMountRetry)
 				continue
 			}
@@ -94,7 +130,7 @@ func Mount(env *m3.Env, service string) (*Client, error) {
 		args.U64(xGetSGate)
 		if _, err := env.ExchangeSess(sess, true, sgSel, 1, args.Bytes()); err != nil {
 			lastErr = fmt.Errorf("m3fs: obtain sgate: %w", err)
-			if c.recoverable(err) {
+			if c.recoverable(err) || errors.Is(err, kif.ErrOverload) {
 				env.P().Sleep(costMountRetry)
 				continue
 			}
@@ -149,11 +185,16 @@ func (c *Client) nextSeq() uint64 {
 }
 
 // recoverable reports whether err indicates a dead or superseded
-// service incarnation worth a session re-establishment. Without an
-// armed deadline nothing is: the errors below then signify real
-// protocol violations that should surface.
+// service incarnation worth a session re-establishment. Without the
+// fault layer armed nothing is: the errors below then signify real
+// protocol violations that should surface — and under pure overload
+// (EnableOverload without faults) a timeout means shed or expired
+// work on a perfectly healthy service, where re-opening the session
+// would only add open-session load to the storm. kif.ErrOverload is
+// deliberately never recoverable: it is handled by the bounded retry
+// budget in call, not by session recovery.
 func (c *Client) recoverable(err error) bool {
-	if err == nil || c.deadline() == 0 {
+	if err == nil || !c.env.DTU().Faulty() || c.deadline() == 0 {
 		return false
 	}
 	return errors.Is(err, kif.ErrTimeout) ||
@@ -222,23 +263,92 @@ func (c *Client) callOnce(o *kif.OStream) (*kif.IStream, error) {
 	return is, nil
 }
 
+// clientBreaker returns the client-side circuit breaker, lazily
+// created on overload-armed runs and nil everywhere else.
+func (c *Client) clientBreaker() *overload.Breaker {
+	if !c.env.DTU().Overloaded() {
+		return nil
+	}
+	if c.breaker == nil {
+		c.breaker = overload.NewBreaker(overload.BreakerConfig{})
+	}
+	return c.breaker
+}
+
+// shedBudget mints the per-operation retry budget for overload
+// refusals, honoring the ShedRetryAttempts override; nil when retries
+// are disabled.
+func (c *Client) shedBudget() *overload.RetryBudget {
+	if c.ShedRetryAttempts < 0 {
+		return nil
+	}
+	b := overload.NewRetryBudget(c.ShedRetryAttempts, 0, 0)
+	return &b
+}
+
+// overloadRetryable reports whether err is worth a bounded retry under
+// the overload discipline: an explicit admission refusal always, a
+// timeout only when overload is armed without the fault layer (then it
+// means shed or expired work, not a dead service).
+func (c *Client) overloadRetryable(err error) bool {
+	if errors.Is(err, kif.ErrOverload) {
+		return true
+	}
+	return c.env.DTU().Overloaded() && !c.env.DTU().Faulty() &&
+		(errors.Is(err, kif.ErrTimeout) || errors.Is(err, dtu.ErrTimeout))
+}
+
 // call runs build and sends the result, transparently re-establishing
 // the session and retrying on recoverable errors. The builder runs
 // once per attempt so fd-bearing requests pick up post-recovery
 // descriptors; idempotency tokens must be minted once by the caller
 // and captured, so every retry replays the same logical operation.
+//
+// Under overload control the call additionally passes the client's
+// circuit breaker, and refusals (kif.ErrOverload) or shed-induced
+// timeouts are retried under a deterministic bounded retry budget —
+// never via session recovery: the session is fine, the service is
+// busy, and the right client behavior is to back off and come back a
+// bounded number of times (docs/OVERLOAD.md).
 func (c *Client) call(build func() (*kif.OStream, error)) (*kif.IStream, error) {
 	var lastErr error
+	var budget *overload.RetryBudget
 	for attempt := 0; attempt < maxCallAttempts; attempt++ {
+		if br := c.clientBreaker(); br != nil && !br.Allow(c.env.P().Now()) {
+			c.BreakerRejects++
+			return nil, fmt.Errorf("m3fs: circuit breaker open: %w", kif.ErrOverload)
+		}
 		o, err := build()
 		if err == nil {
 			var is *kif.IStream
 			is, err = c.callOnce(o)
 			if err == nil {
+				if br := c.clientBreaker(); br != nil {
+					br.Success(c.env.P().Now())
+				}
 				return is, nil
 			}
 		}
 		lastErr = err
+		if c.overloadRetryable(err) {
+			if br := c.clientBreaker(); br != nil && !errors.Is(err, kif.ErrOverload) {
+				// Deadline misses feed the breaker; admission refusals do
+				// not — the service answered promptly, it is in control.
+				br.Failure(c.env.P().Now())
+			}
+			if budget == nil {
+				if budget = c.shedBudget(); budget == nil {
+					return nil, lastErr
+				}
+			}
+			delay, ok := budget.Next()
+			if !ok {
+				return nil, lastErr
+			}
+			c.ShedRetries++
+			c.env.P().Sleep(delay)
+			continue
+		}
 		if !c.recoverable(err) {
 			return nil, err
 		}
@@ -499,6 +609,7 @@ func (f *file) findExtent(off int64) *cext {
 func (f *file) obtain(build func() []byte) (*cext, error) {
 	c := f.c
 	var lastErr error
+	var budget *overload.RetryBudget
 	for attempt := 0; attempt < maxCallAttempts; attempt++ {
 		err := f.ensureOpen()
 		if err == nil {
@@ -520,6 +631,22 @@ func (f *file) obtain(build func() []byte) (*cext, error) {
 			}
 		}
 		lastErr = err
+		if c.overloadRetryable(err) {
+			// Shed or refused exchange: bounded retry, same discipline as
+			// call — the session is intact, the service is busy.
+			if budget == nil {
+				if budget = c.shedBudget(); budget == nil {
+					return nil, lastErr
+				}
+			}
+			delay, ok := budget.Next()
+			if !ok {
+				return nil, lastErr
+			}
+			c.ShedRetries++
+			c.env.P().Sleep(delay)
+			continue
+		}
 		if !c.recoverable(err) {
 			return nil, err
 		}

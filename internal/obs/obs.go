@@ -127,6 +127,25 @@ const (
 	// EvCrash marks a PE core crash (fault injection).
 	EvCrash
 
+	// Overload-control kinds (docs/OVERLOAD.md), emitted only when the
+	// subsystem is armed.
+
+	// EvDeadlineDrop marks a request dropped at the receiving DTU
+	// because its propagated deadline had already expired in flight.
+	// Arg0 = endpoint, Arg1 = sender node, Arg2 = cycles overdue.
+	EvDeadlineDrop
+	// EvAdmitRefuse marks a request refused by the receiving DTU's
+	// admission watermark instead of being queued.
+	// Arg0 = endpoint, Arg1 = sender node, Arg2 = occupied slots.
+	EvAdmitRefuse
+	// EvShed marks a service call rejected by the kernel's shed
+	// controller before any work was done.
+	// Arg0 = service PE, Arg1 = queue depth, Arg2 = priority class.
+	EvShed
+	// EvBreaker marks a circuit-breaker trip for a service.
+	// Arg0 = service PE, Arg1 = total opens.
+	EvBreaker
+
 	numKinds
 )
 
@@ -141,6 +160,7 @@ var kindNames = [numKinds]string{
 	"pkt-inject", "pkt-deliver", "pkt-drop", "pkt-corrupt",
 	"poisoned", "retransmit", "xmit-abort", "op-timeout",
 	"config", "reply-drop", "crash",
+	"deadline-drop", "admit-refuse", "shed", "breaker",
 }
 
 func (k Kind) String() string {

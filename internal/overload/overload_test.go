@@ -1,0 +1,246 @@
+package overload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestShedderPriorityOrdering(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   ShedConfig
+		depth int
+		want  [3]bool // admit per priority low/normal/high
+	}{
+		{"off-zero-config", ShedConfig{}, 1 << 20, [3]bool{true, true, true}},
+		{"idle", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 0, [3]bool{true, true, true}},
+		{"below-low", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 3, [3]bool{true, true, true}},
+		{"at-low", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 4, [3]bool{false, true, true}},
+		{"between", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 7, [3]bool{false, true, true}},
+		{"at-high", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 8, [3]bool{false, false, true}},
+		{"way-past-high", ShedConfig{LowWatermark: 4, HighWatermark: 8}, 1 << 20, [3]bool{false, false, true}},
+		{"low-only", ShedConfig{LowWatermark: 4}, 100, [3]bool{false, true, true}},
+		{"inverted-watermarks-lifted", ShedConfig{LowWatermark: 8, HighWatermark: 2}, 7, [3]bool{true, true, true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewShedder(tc.cfg)
+			for pr, want := range map[Priority]bool{
+				PriorityLow:    tc.want[0],
+				PriorityNormal: tc.want[1],
+				PriorityHigh:   tc.want[2],
+			} {
+				if got := s.Admit(tc.depth, pr); got != want {
+					t.Errorf("Admit(depth=%d, %v) = %v, want %v", tc.depth, pr, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestShedderCounters(t *testing.T) {
+	s := NewShedder(ShedConfig{LowWatermark: 1, HighWatermark: 2})
+	for i := 0; i < 3; i++ {
+		s.Admit(5, PriorityLow)
+	}
+	s.Admit(5, PriorityNormal)
+	s.Admit(5, PriorityHigh) // never shed, never counted
+	if s.Sheds[PriorityLow] != 3 || s.Sheds[PriorityNormal] != 1 || s.Sheds[PriorityHigh] != 0 {
+		t.Fatalf("shed counters = %v", s.Sheds)
+	}
+	if s.ShedCount() != 4 {
+		t.Fatalf("ShedCount() = %d, want 4", s.ShedCount())
+	}
+}
+
+// TestBreakerTransitions walks the full closed→open→half-open→closed
+// and half-open→open cycles as a scripted table.
+func TestBreakerTransitions(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 3, OpenFor: 100, HalfOpenProbes: 2}
+
+	type step struct {
+		at      sim.Time
+		op      string // "fail", "ok", "check"
+		state   State
+		allowed bool
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"trip-at-threshold", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "fail", StateOpen, false},
+		}},
+		{"success-resets-fail-count", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "ok", StateClosed, true},
+			{3, "fail", StateClosed, true},
+			{4, "fail", StateClosed, true},
+			{5, "fail", StateOpen, false},
+		}},
+		{"open-window-elapses-to-half-open", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "fail", StateOpen, false},
+			{101, "check", StateOpen, false}, // tripped at 2; window ends at 102
+			{102, "check", StateHalfOpen, true},
+		}},
+		{"half-open-closes-after-probes", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "fail", StateOpen, false},
+			{102, "ok", StateHalfOpen, true},
+			{103, "ok", StateClosed, true},
+		}},
+		{"half-open-failure-reopens", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "fail", StateOpen, false},
+			{102, "ok", StateHalfOpen, true},
+			{103, "fail", StateOpen, false},
+			{202, "check", StateOpen, false}, // re-tripped at 103; reopens at 203
+			{203, "check", StateHalfOpen, true},
+		}},
+		{"success-while-open-ignored", []step{
+			{0, "fail", StateClosed, true},
+			{1, "fail", StateClosed, true},
+			{2, "fail", StateOpen, false},
+			{50, "ok", StateOpen, false}, // stale completion of a pre-trip call
+			{102, "check", StateHalfOpen, true},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBreaker(cfg)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "fail":
+					b.Failure(st.at)
+				case "ok":
+					b.Success(st.at)
+				case "check":
+				default:
+					t.Fatalf("step %d: bad op %q", i, st.op)
+				}
+				if got := b.State(st.at); got != st.state {
+					t.Fatalf("step %d (t=%d %s): state = %v, want %v", i, st.at, st.op, got, st.state)
+				}
+				if got := b.Allow(st.at); got != st.allowed {
+					t.Fatalf("step %d (t=%d %s): Allow = %v, want %v", i, st.at, st.op, got, st.allowed)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < DefaultFailThreshold; i++ {
+		if !b.Allow(sim.Time(i)) {
+			t.Fatalf("breaker opened after %d failures, threshold is %d", i, DefaultFailThreshold)
+		}
+		b.Failure(sim.Time(i))
+	}
+	now := sim.Time(DefaultFailThreshold - 1)
+	if b.Allow(now) {
+		t.Fatal("breaker still closed at default threshold")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens() = %d, want 1", b.Opens())
+	}
+	if rem := b.OpenRemaining(now); rem != DefaultOpenFor {
+		t.Fatalf("OpenRemaining = %d, want %d", rem, DefaultOpenFor)
+	}
+	if rem := b.OpenRemaining(now + DefaultOpenFor); rem != 0 {
+		t.Fatalf("OpenRemaining after window = %d, want 0", rem)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	r := NewRetryBudget(3, 100, 300)
+	var delays []sim.Time
+	for {
+		d, ok := r.Next()
+		if !ok {
+			break
+		}
+		delays = append(delays, d)
+	}
+	want := []sim.Time{100, 200, 300} // doubled, capped at 300
+	if len(delays) != len(want) {
+		t.Fatalf("got %d retries %v, want %v", len(delays), delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("retry %d delay = %d, want %d (all: %v)", i, delays[i], want[i], delays)
+		}
+	}
+	if r.Used() != 3 {
+		t.Fatalf("Used() = %d, want 3", r.Used())
+	}
+	// Exhausted budgets stay exhausted.
+	if _, ok := r.Next(); ok {
+		t.Fatal("budget handed out a retry past exhaustion")
+	}
+}
+
+func TestRetryBudgetDefaultsAndOverflow(t *testing.T) {
+	r := NewRetryBudget(0, 0, 0)
+	d, ok := r.Next()
+	if !ok || d != DefaultRetryBackoff {
+		t.Fatalf("first default retry = (%d, %v), want (%d, true)", d, ok, DefaultRetryBackoff)
+	}
+	// A budget whose delay is near the top of the sim.Time range must
+	// clamp to max instead of wrapping around.
+	top := sim.Time(1) << 63
+	r2 := NewRetryBudget(4, top, top+1)
+	var last sim.Time
+	for {
+		d, ok := r2.Next()
+		if !ok {
+			break
+		}
+		if d < last {
+			t.Fatalf("backoff wrapped: %d after %d", d, last)
+		}
+		last = d
+	}
+	if last != top+1 {
+		t.Fatalf("final backoff = %d, want clamp at %d", last, top+1)
+	}
+}
+
+// TestBreakerDeterminism replays the same operation script twice and
+// demands identical state trajectories — the breaker is a pure state
+// machine over (ops, clock).
+func TestBreakerDeterminism(t *testing.T) {
+	script := func() []State {
+		b := NewBreaker(BreakerConfig{FailThreshold: 2, OpenFor: 10, HalfOpenProbes: 1})
+		var states []State
+		ops := []struct {
+			at   sim.Time
+			fail bool
+		}{
+			{0, true}, {1, true}, {12, false}, {13, true}, {14, true}, {30, false}, {31, false},
+		}
+		for _, op := range ops {
+			if op.fail {
+				b.Failure(op.at)
+			} else {
+				b.Success(op.at)
+			}
+			states = append(states, b.State(op.at))
+		}
+		return states
+	}
+	a, bb := script(), script()
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("replay diverged at step %d: %v vs %v", i, a, bb)
+		}
+	}
+}
