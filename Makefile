@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
 
-.PHONY: ci build test vet vet-fast vet-baseline bench bench-smoke chaos fuzz
+.PHONY: ci build test vet vet-fast vet-baseline bench bench-smoke slo-smoke slo-baseline chaos fuzz
 
 ci:
 	./ci.sh
@@ -32,17 +32,33 @@ bench:
 
 # The bench regression gate: rerun the fast experiment subset, keep the
 # JSON artifact for inspection, and fail if any gated metric regressed
-# past its tolerance against the committed baseline (BENCH_2.json,
+# past its tolerance against the committed baseline (BENCH_3.json,
 # refresh with `make bench-baseline` when a change legitimately moves
-# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json and BENCH_1.json
-# are previous generations' baselines, kept for historical comparison.
+# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json through
+# BENCH_2.json are previous generations' baselines, kept for
+# historical comparison.
 bench-smoke:
 	mkdir -p artifacts
 	go run ./cmd/m3bench -e smoke -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
-	go run ./cmd/m3bench -diff BENCH_2.json artifacts/bench-smoke.json
+	go run ./cmd/m3bench -diff BENCH_3.json artifacts/bench-smoke.json
 
 bench-baseline:
-	go run ./cmd/m3bench -e smoke -json BENCH_2.json
+	go run ./cmd/m3bench -e smoke -json BENCH_3.json
+
+# The SLO regression gate: run the critical-path attribution + SLO
+# report (cmd/m3slo) over the tier-1 workload and require the JSON
+# report — every blame cell, exemplar span tree, and burn rate — to be
+# byte-identical to the committed SLO_0.json golden. The report is
+# deterministic by construction (docs/OBSERVABILITY.md), so any diff
+# is a real behavior change; refresh with `make slo-baseline` when a
+# change legitimately moves the attribution.
+slo-smoke:
+	mkdir -p artifacts
+	go run ./cmd/m3slo -w tar -json artifacts/slo-smoke.json >artifacts/slo-smoke.log
+	diff -u SLO_0.json artifacts/slo-smoke.json
+
+slo-baseline:
+	go run ./cmd/m3slo -w tar -json SLO_0.json
 
 # The chaos tier: determinism under fault injection plus the workload
 # matrix that proves isolation survives packet loss, PE crashes, and —

@@ -21,9 +21,12 @@
 #              docs/RECOVERY.md, docs/OVERLOAD.md)
 #   fuzz       a short smoke over the fault-plan and journal decoders
 #   bench      the bench regression gate: the smoke experiment subset
-#              diffed against the committed BENCH_2.json baseline; the
+#              diffed against the committed BENCH_3.json baseline; the
 #              JSON artifact is kept under artifacts/ for inspection
 #              (docs/EXPERIMENTS.md)
+#   slo        the SLO regression gate: the m3slo attribution report
+#              over the tier-1 workload, byte-compared against the
+#              committed SLO_0.json golden (docs/OBSERVABILITY.md)
 set -eux
 
 go build ./...
@@ -33,3 +36,4 @@ go test -race -shuffle=on ./...
 make chaos
 make fuzz
 make bench-smoke
+make slo-smoke

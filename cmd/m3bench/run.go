@@ -190,6 +190,17 @@ func runELat() (bench.BenchExperiment, error) {
 	return runCSVExperiment("elat", r)
 }
 
+// runETail reports the critical-path blame decomposition of the p50
+// and p99 requests under burst arrivals (E-tail in EXPERIMENTS.md),
+// M3 vs the Linux model, per workload.
+func runETail() (bench.BenchExperiment, error) {
+	r, err := bench.ETail()
+	if err != nil {
+		return bench.BenchExperiment{}, err
+	}
+	return runCSVExperiment("etail", r)
+}
+
 // runELoad reports graceful degradation under open-loop overload
 // (docs/OVERLOAD.md): capacity probe, then 0.5x/1x/2x offered load
 // with the full overload stack armed.

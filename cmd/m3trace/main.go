@@ -183,11 +183,16 @@ func showSummary(tr *trace.Trace) {
 
 // cmdExport runs a workload on M3 with the structured tracer armed and
 // writes the event stream as Chrome-trace/Perfetto JSON (open in
-// chrome://tracing or ui.perfetto.dev).
+// chrome://tracing or ui.perfetto.dev). With -span it exports a single
+// request's span tree — the flag pairs with the exemplar SpanIDs that
+// `m3slo` prints, so the exact p99 request can be drilled into. -text
+// prints the (filtered) events as human-readable lines instead.
 func cmdExport(args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	wl := fs.String("w", "tar", "workload to export")
 	out := fs.String("o", "", "output JSON file (default <workload>.json)")
+	span := fs.Uint64("span", 0, "export only this request's span tree (0 = all)")
+	text := fs.Bool("text", false, "print events as text lines instead of writing Perfetto JSON")
 	_ = fs.Parse(args)
 	b, err := workload.ByName(*wl)
 	if err != nil {
@@ -196,6 +201,25 @@ func cmdExport(args []string) {
 	var events []obs.Event
 	tracer := obs.New(obs.Options{Sink: func(ev obs.Event) { events = append(events, ev) }})
 	cycles := runM3(b, tracer, func(os workload.OS) error { return b.Run(os) })
+	if *span != 0 {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Span == obs.SpanID(*span) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+		if len(events) == 0 {
+			log.Fatalf("m3trace: no events carry span %d", *span)
+		}
+	}
+	if *text {
+		for _, ev := range events {
+			fmt.Println(ev)
+		}
+		fmt.Printf("%d structured events (%d simulated cycles)\n", len(events), cycles)
+		return
+	}
 	path := *out
 	if path == "" {
 		path = *wl + ".json"

@@ -89,6 +89,7 @@ func All() []*Analyzer {
 		EpochFence,
 		ObsGuard,
 		MetricName,
+		SLOName,
 	}
 }
 

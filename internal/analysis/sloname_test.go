@@ -1,0 +1,72 @@
+package analysis
+
+import "testing"
+
+// sloOverlay is a minimal obs package exposing the SLO registration
+// surface for fixture dependencies.
+var sloOverlay = map[string]string{"obs.go": `package obs
+
+type SLO struct{}
+
+type SLOConfig struct {
+	Objective float64
+}
+
+type SLOSet struct{}
+
+func (s *SLOSet) Objective(name string, cfg SLOConfig) *SLO { return nil }
+`}
+
+func TestSLONameFlagsDynamicNames(t *testing.T) {
+	src := `package bench
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+func f(s *obs.SLOSet, shard int) {
+	s.Objective("kv_p99", obs.SLOConfig{})                       // line 10: literal
+	name := "kv_avail"
+	s.Objective(name, obs.SLOConfig{})                           // line 12: local
+	s.Objective(fmt.Sprintf("kv_%d", shard), obs.SLOConfig{})    // line 13: computed
+}
+`
+	got := runOn(t, []*Analyzer{SLOName}, "repro/internal/bench",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": sloOverlay})
+	checkFindings(t, got, []finding{
+		{10, "sloname"}, {12, "sloname"}, {13, "sloname"}})
+}
+
+func TestSLONameAllowsPackageConstants(t *testing.T) {
+	src := `package bench
+
+import "repro/internal/obs"
+
+const SLOTail = "kv_p99"
+
+func f(s *obs.SLOSet) {
+	s.Objective(SLOTail, obs.SLOConfig{Objective: 0.99})
+}
+`
+	got := runOn(t, []*Analyzer{SLOName}, "repro/internal/bench",
+		map[string]string{"f.go": src},
+		map[string]map[string]string{"repro/internal/obs": sloOverlay})
+	checkFindings(t, got, nil)
+}
+
+func TestSLONameIgnoresUnrelatedObjectives(t *testing.T) {
+	// Same method name on a foreign type is not a registration.
+	src := `package m3fs
+
+type planner struct{}
+
+func (p *planner) Objective(name string, weight int) int { return 0 }
+func f(p *planner)                                       { p.Objective("x", 0) }
+`
+	got := runOn(t, []*Analyzer{SLOName}, "repro/internal/m3fs",
+		map[string]string{"f.go": src}, nil)
+	checkFindings(t, got, nil)
+}

@@ -1,0 +1,539 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/linuxos"
+	"repro/internal/m3"
+	"repro/internal/obs"
+	"repro/internal/overload"
+	"repro/internal/sim"
+	"repro/internal/tile"
+	"repro/internal/workload"
+)
+
+// Experiment E-tail: where does the tail come from? A client fleet
+// fires file operations on the open-loop burst generator (the E-load
+// arrival machinery with a mid-run spike), the structured tracer
+// streams every span into the critical-path engine
+// (internal/obs/critpath.go), and the table reports the full blame
+// decomposition — app compute, DTU queueing/credit stalls, NoC wire
+// time, kernel/service handling, retransmit, shed — of the exact
+// request sitting at p50 and p99, per workload, M3 vs the Linux
+// model. On Linux the analog categories come from the per-operation
+// linuxos.Stats deltas (app/xfer/os mapped to app/queue/kernel; a
+// monolithic kernel has no NoC, retry or shed component to blame).
+// Everything is deterministic: the rows are exact-match gated in the
+// bench baseline, and the per-workload witness digests the entire
+// request population so the differential tests can compare engines.
+
+const (
+	// etailSeed pins the arrival schedules.
+	etailSeed uint64 = 0xE7A11
+	// etailClients is the M3 client-fleet size.
+	etailClients = 4
+	// etailOps is the per-client operation count.
+	etailOps = 48
+	// etailInterval is the per-client steady arrival interval.
+	etailInterval sim.Time = 3000
+	// etailSpikeLen arrivals fire back-to-back mid-run (ShapeSpike):
+	// the burst that manufactures the queueing tail.
+	etailSpikeLen = 8
+	// etailJitter decorrelates the per-client schedules.
+	etailJitter = 0.15
+	// etailFileSize/etailBufSize size the read workload's file and
+	// per-operation read.
+	etailFileSize = 32 << 10
+	etailBufSize  = 4 << 10
+)
+
+// E-tail SLO names (package constants: m3vet sloname) and the latency
+// bound fed to the tail objective.
+const (
+	etailSLOLatency = "etail_tail_latency"
+	etailSLOAvail   = "etail_availability"
+
+	etailSLOBound sim.Time = 1 << 13
+)
+
+// ETailQuantiles are the reported latency quantiles.
+var ETailQuantiles = []float64{0.5, 0.99}
+
+// etailOpKind selects the per-arrival operation.
+type etailOpKind uint8
+
+const (
+	etailStat etailOpKind = iota // metadata round-trip (Stat)
+	etailRead                    // 4 KiB data read from an open file
+)
+
+// ETailWorkload is one workload of the sweep.
+type ETailWorkload struct {
+	Name string
+	op   etailOpKind
+}
+
+// ETailWorkloads is the workload set (the acceptance gate wants at
+// least two).
+var ETailWorkloads = []ETailWorkload{
+	{Name: "stat", op: etailStat},
+	{Name: "read", op: etailRead},
+}
+
+// ETailQ is the blame decomposition at one quantile.
+type ETailQ struct {
+	Q       float64
+	Latency uint64
+	Blame   obs.BlameVec
+}
+
+// ETailSystem is one system's view of one workload.
+type ETailSystem struct {
+	System    string // "m3" or "lx"
+	Requests  uint64
+	Quantiles []ETailQ
+}
+
+// ETailWorkloadResult is one workload row group.
+type ETailWorkloadResult struct {
+	Workload string
+	M3, Lx   ETailSystem
+
+	// SLO outcome of the M3 run (the Linux model has no SLO engine).
+	SLOGood, SLOTotal uint64
+	SLOTransitions    uint64
+	SLOState          string
+
+	// Witness digests the entire M3 request population (span, latency,
+	// blame vector) plus the run statistics; the differential tests
+	// compare it across engine configurations.
+	Witness uint64
+	Stats   RunStats
+}
+
+// ETailResult is the E-tail experiment output.
+type ETailResult struct {
+	Workloads []ETailWorkloadResult
+}
+
+// etailGen builds one client's arrival schedule: constant interval
+// with jitter plus one mid-run spike of back-to-back arrivals.
+func etailGen(stream uint64) *overload.Gen {
+	return overload.NewGen(overload.BurstConfig{
+		Seed:     etailSeed,
+		Shape:    overload.ShapeSpike,
+		Interval: etailInterval,
+		Count:    etailOps,
+		Jitter:   etailJitter,
+		SpikeAt:  etailInterval * etailOps / 2,
+		SpikeLen: etailSpikeLen,
+	}, stream)
+}
+
+// etailClientSetup prepares one client's namespace: a private
+// directory, the stat probe, and the read file.
+func etailClientSetup(os *workload.M3OS, prefix string) error {
+	os.Prefix = prefix
+	if err := os.Mkdir(""); err != nil {
+		return err
+	}
+	if err := writeFilePattern(os, "/probe", 64); err != nil {
+		return err
+	}
+	return writeFilePattern(os, "/data", etailFileSize)
+}
+
+// etailOp fires one client operation (both systems drive the same
+// workload.OS surface). The read op is a full open/seek-read/close
+// round so every arrival crosses the OS — on M3 each call is its own
+// root span; a long-lived handle would serve most reads from the
+// client-side extent cache without ever leaving the PE.
+func etailOp(w ETailWorkload, os workload.OS, i int, buf []byte) error {
+	switch w.op {
+	case etailStat:
+		_, err := os.Stat("/probe")
+		return err
+	default:
+		f, err := os.Open("/data", workload.Read)
+		if err != nil {
+			return err
+		}
+		if sf, ok := f.(workload.SeekableFile); ok {
+			off := int64(i%(etailFileSize/etailBufSize)) * etailBufSize
+			if _, err := sf.Seek(off, 0); err != nil {
+				return err
+			}
+		}
+		if _, err := f.Read(buf); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// runETailM3 drives one workload on M3 with the critical-path engine
+// armed after setup (the measured population is the steady-state
+// fleet traffic, not the scaffolding).
+func runETailM3(w ETailWorkload, engCfg sim.Config) (*ETailWorkloadResult, error) {
+	slos := obs.NewSLOSet()
+	tail := slos.Objective(etailSLOLatency, obs.SLOConfig{
+		Objective: 0.99, LatencyBound: etailSLOBound, Window: 1 << 18})
+	slos.Objective(etailSLOAvail, obs.SLOConfig{Objective: 0.999, Window: 1 << 18})
+	cp := obs.NewCritPath(obs.CritPathOptions{Exemplars: 2, SLO: slos})
+	armed := false
+	tracer := obs.New(obs.Options{Sink: func(ev obs.Event) {
+		if armed {
+			cp.Consume(ev)
+		}
+	}})
+	s := bootM3(M3Options{Obs: tracer, Engine: engCfg}, etailClients)
+
+	ready := 0
+	startSig := sim.NewSignal(s.eng)
+	setupTurn := 0
+	turnSig := sim.NewSignal(s.eng)
+	var runErr error
+	for i := 0; i < etailClients; i++ {
+		ci := i
+		prefix := fmt.Sprintf("/t%d", ci)
+		_, err := s.kern.StartInit(fmt.Sprintf("tail%d", ci), tile.CoreXtensa, func(ctx *tile.Ctx) {
+			for setupTurn != ci {
+				turnSig.Wait(ctx.P)
+			}
+			env := m3.NewEnv(ctx, s.kern)
+			os, err := workload.NewM3OS(env)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := etailClientSetup(os, prefix); err != nil {
+				runErr = err
+				return
+			}
+			setupTurn++
+			turnSig.Broadcast()
+			ready++
+			if ready == etailClients {
+				// Last client through setup: arm the attribution engine
+				// before releasing the fleet, so every measured span
+				// belongs to steady-state traffic.
+				armed = true
+				startSig.Broadcast()
+			} else {
+				startSig.Wait(ctx.P)
+			}
+			base := ctx.Now()
+			gen := etailGen(uint64(ci))
+			buf := make([]byte, etailBufSize)
+			for i := 0; ; i++ {
+				at, ok := gen.Next()
+				if !ok {
+					break
+				}
+				// Open loop: arrivals are absolute; a client running
+				// behind fires immediately.
+				if target := base + at; ctx.Now() < target {
+					ctx.P.Sleep(target - ctx.Now())
+				}
+				if err := etailOp(w, os, i, buf); err != nil {
+					runErr = err
+					return
+				}
+			}
+			env.Exit(0)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &ETailWorkloadResult{
+		Workload: w.Name,
+		M3:       ETailSystem{System: "m3", Requests: cp.Completed()},
+		SLOState: tail.State().String(),
+		Stats:    RunStats{ExecutedEvents: s.eng.ExecutedEvents(), FinalTime: s.eng.Now()},
+	}
+	res.SLOGood, res.SLOTotal = tail.Counts()
+	res.SLOTransitions = tail.Transitions()
+	for _, q := range ETailQuantiles {
+		req, ok := cp.RequestAt(q)
+		if !ok {
+			return nil, fmt.Errorf("etail %s: no completed requests on M3", w.Name)
+		}
+		res.M3.Quantiles = append(res.M3.Quantiles, ETailQ{
+			Q: q, Latency: uint64(req.Latency()), Blame: req.Blame})
+	}
+	h := fnv.New64a()
+	for _, req := range cp.Requests() {
+		fmt.Fprintf(h, "%d %d %v\n", req.Span, req.Latency(), req.Blame)
+	}
+	fmt.Fprintf(h, "ev=%d ft=%d\n", res.Stats.ExecutedEvents, res.Stats.FinalTime)
+	res.Witness = h.Sum64()
+	return res, nil
+}
+
+// lxReq is one timed Linux operation with its Stats-delta blame.
+type lxReq struct {
+	lat   sim.Time
+	blame obs.BlameVec
+}
+
+// lxTimedOS wraps the Linux workload.OS so that every individual call
+// — the same granularity as M3's root spans — lands in the request
+// population via rec.
+type lxTimedOS struct {
+	workload.OS
+	rec func(func() error) error
+}
+
+func (t *lxTimedOS) Open(path string, flags workload.OpenFlags) (workload.File, error) {
+	var f workload.File
+	err := t.rec(func() error {
+		var e error
+		f, e = t.OS.Open(path, flags)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &lxTimedFile{f: f, rec: t.rec}, nil
+}
+
+func (t *lxTimedOS) Stat(path string) (workload.Stat, error) {
+	var st workload.Stat
+	err := t.rec(func() error {
+		var e error
+		st, e = t.OS.Stat(path)
+		return e
+	})
+	return st, err
+}
+
+// lxTimedFile times the read/write/close calls; Seek passes through
+// untimed (on M3 it is client-local bookkeeping, never a request).
+type lxTimedFile struct {
+	f   workload.File
+	rec func(func() error) error
+}
+
+func (f *lxTimedFile) Read(buf []byte) (int, error) {
+	var n int
+	err := f.rec(func() error {
+		var e error
+		n, e = f.f.Read(buf)
+		return e
+	})
+	return n, err
+}
+
+func (f *lxTimedFile) Write(buf []byte) (int, error) {
+	var n int
+	err := f.rec(func() error {
+		var e error
+		n, e = f.f.Write(buf)
+		return e
+	})
+	return n, err
+}
+
+func (f *lxTimedFile) Close() error {
+	return f.rec(func() error { return f.f.Close() })
+}
+
+func (f *lxTimedFile) Seek(off int64, whence int) (int64, error) {
+	if sf, ok := f.f.(workload.SeekableFile); ok {
+		return sf.Seek(off, whence)
+	}
+	return 0, fmt.Errorf("etail: underlying file not seekable")
+}
+
+// runETailLx drives the same offered schedule on the Linux model (one
+// process — the monolithic-kernel baseline has no per-PE fleet) and
+// derives per-operation blame from the linuxos.Stats deltas.
+func runETailLx(w ETailWorkload) (ETailSystem, error) {
+	eng := sim.NewEngine()
+	sys := linuxos.New(eng, linuxos.ProfileXtensa, false)
+	var reqs []lxReq
+	var runErr error
+	sys.Spawn("tail", func(pr *linuxos.Proc) {
+		os := workload.NewLxOS(sys, pr)
+		if err := writeFilePattern(os, "/probe", 64); err != nil {
+			runErr = err
+			return
+		}
+		if err := writeFilePattern(os, "/data", etailFileSize); err != nil {
+			runErr = err
+			return
+		}
+		record := func(op func() error) error {
+			pre := sys.Stats
+			t0 := pr.P().Now()
+			err := op()
+			if err != nil {
+				return err
+			}
+			lat := pr.P().Now() - t0
+			var blame obs.BlameVec
+			blame[obs.BlameKernel] = uint64(sys.Stats.OS - pre.OS)
+			blame[obs.BlameQueue] = uint64(sys.Stats.Xfer - pre.Xfer)
+			if attributed := blame[obs.BlameKernel] + blame[obs.BlameQueue]; uint64(lat) > attributed {
+				blame[obs.BlameApp] = uint64(lat) - attributed
+			}
+			reqs = append(reqs, lxReq{lat: lat, blame: blame})
+			return nil
+		}
+		tos := &lxTimedOS{OS: os, rec: record}
+		buf := make([]byte, etailBufSize)
+		base := pr.P().Now()
+		// One process serves the whole fleet's schedule: merge the
+		// per-client generators by next-arrival order, so the offered
+		// sequence matches the M3 run's.
+		gens := make([]*overload.Gen, etailClients)
+		next := make([]sim.Time, etailClients)
+		live := make([]bool, etailClients)
+		for ci := range gens {
+			gens[ci] = etailGen(uint64(ci))
+			next[ci], live[ci] = gens[ci].Next()
+		}
+		count := make([]int, etailClients)
+		for {
+			best := -1
+			for ci := range gens {
+				if live[ci] && (best < 0 || next[ci] < next[best]) {
+					best = ci
+				}
+			}
+			if best < 0 {
+				break
+			}
+			at := next[best]
+			i := count[best]
+			count[best]++
+			next[best], live[best] = gens[best].Next()
+			if target := base + at; pr.P().Now() < target {
+				pr.P().Sleep(target - pr.P().Now())
+			}
+			if err := etailOp(w, tos, i, buf); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	eng.Run()
+	if runErr != nil {
+		return ETailSystem{}, runErr
+	}
+	res := ETailSystem{System: "lx", Requests: uint64(len(reqs))}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].lat < reqs[j].lat })
+	for _, q := range ETailQuantiles {
+		if len(reqs) == 0 {
+			return ETailSystem{}, fmt.Errorf("etail %s: no operations on lx", w.Name)
+		}
+		// Nearest rank, the same selection rule CritPath.RequestAt uses.
+		idx := int(q*float64(len(reqs))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(reqs) {
+			idx = len(reqs) - 1
+		}
+		res.Quantiles = append(res.Quantiles, ETailQ{
+			Q: q, Latency: uint64(reqs[idx].lat), Blame: reqs[idx].blame})
+	}
+	return res, nil
+}
+
+// ETail runs the blame-at-the-tail sweep on both systems.
+func ETail() (*ETailResult, error) {
+	return ETailEngine(sim.Config{})
+}
+
+// ETailEngine is ETail on an explicit engine configuration (the
+// differential tests sweep it; every configuration must produce the
+// identical witness).
+func ETailEngine(engCfg sim.Config) (*ETailResult, error) {
+	res := &ETailResult{}
+	for _, w := range ETailWorkloads {
+		m3r, err := runETailM3(w, engCfg)
+		if err != nil {
+			return nil, fmt.Errorf("etail %s on M3: %w", w.Name, err)
+		}
+		lx, err := runETailLx(w)
+		if err != nil {
+			return nil, fmt.Errorf("etail %s on Linux: %w", w.Name, err)
+		}
+		m3r.Lx = lx
+		res.Workloads = append(res.Workloads, *m3r)
+	}
+	return res, nil
+}
+
+// qLabel renders a quantile as a stable row label (p50, p99).
+func qLabel(q float64) string {
+	return fmt.Sprintf("p%g", q*100)
+}
+
+// Print writes the blame tables.
+func (r *ETailResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "E-tail: critical-path blame at the tail, %d clients x %d ops, spike of %d (seed %#x)\n",
+		etailClients, etailOps, etailSpikeLen, etailSeed)
+	tw := newTable(w, "workload", "system", "q", "latency", "app", "queue", "noc", "kernel", "retry", "shed")
+	for _, wr := range r.Workloads {
+		for _, s := range []*ETailSystem{&wr.M3, &wr.Lx} {
+			for _, q := range s.Quantiles {
+				tw.row(wr.Workload, s.System, qLabel(q.Q), cyc(sim.Time(q.Latency)),
+					fmt.Sprint(q.Blame[obs.BlameApp]), fmt.Sprint(q.Blame[obs.BlameQueue]),
+					fmt.Sprint(q.Blame[obs.BlameNoC]), fmt.Sprint(q.Blame[obs.BlameKernel]),
+					fmt.Sprint(q.Blame[obs.BlameRetry]), fmt.Sprint(q.Blame[obs.BlameShed]))
+			}
+		}
+	}
+	tw.flush()
+	fmt.Fprintf(w, "E-tail: M3 %s objective (bound %d cycles)\n", etailSLOLatency, etailSLOBound)
+	tw = newTable(w, "workload", "requests", "good/total", "transitions", "state")
+	for _, wr := range r.Workloads {
+		tw.row(wr.Workload, fmt.Sprint(wr.M3.Requests),
+			fmt.Sprintf("%d/%d", wr.SLOGood, wr.SLOTotal),
+			fmt.Sprint(wr.SLOTransitions), wr.SLOState)
+	}
+	tw.flush()
+}
+
+// CSV renders the E-tail tables. Every cell is deterministic, so the
+// default exact-match tolerance gates them.
+func (r *ETailResult) CSV() []*CSVTable {
+	blame := &CSVTable{Name: "etail_blame", Rows: [][]string{
+		{"workload", "system", "q", "latency_cycles",
+			"app", "queue", "noc", "kernel", "retry", "shed"},
+	}}
+	for _, wr := range r.Workloads {
+		for _, s := range []*ETailSystem{&wr.M3, &wr.Lx} {
+			for _, q := range s.Quantiles {
+				blame.Rows = append(blame.Rows, []string{
+					wr.Workload, s.System, qLabel(q.Q), fmt.Sprint(q.Latency),
+					fmt.Sprint(q.Blame[obs.BlameApp]), fmt.Sprint(q.Blame[obs.BlameQueue]),
+					fmt.Sprint(q.Blame[obs.BlameNoC]), fmt.Sprint(q.Blame[obs.BlameKernel]),
+					fmt.Sprint(q.Blame[obs.BlameRetry]), fmt.Sprint(q.Blame[obs.BlameShed]),
+				})
+			}
+		}
+	}
+	slo := &CSVTable{Name: "etail_slo", Rows: [][]string{
+		{"workload", "requests", "slo_good", "slo_total", "transitions", "state"},
+	}}
+	for _, wr := range r.Workloads {
+		slo.Rows = append(slo.Rows, []string{
+			wr.Workload, fmt.Sprint(wr.M3.Requests),
+			fmt.Sprint(wr.SLOGood), fmt.Sprint(wr.SLOTotal),
+			fmt.Sprint(wr.SLOTransitions), wr.SLOState,
+		})
+	}
+	return []*CSVTable{blame, slo}
+}

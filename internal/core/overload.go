@@ -105,7 +105,7 @@ func (k *Kernel) breakerOpensCounter() *obs.Counter {
 // the service's breaker first (an open breaker fails everything fast),
 // then the shed controller against the service DTU's live receive
 // queue depth. Returns kif.OK to admit.
-func (k *Kernel) admitServiceCall(svc *ServiceObj, pr overload.Priority) kif.Error {
+func (k *Kernel) admitServiceCall(svc *ServiceObj, span obs.SpanID, pr overload.Priority) kif.Error {
 	ov := k.overload
 	if ov == nil {
 		return kif.OK
@@ -120,8 +120,10 @@ func (k *Kernel) admitServiceCall(svc *ServiceObj, pr overload.Priority) kif.Err
 		k.Stats.CallsShed++
 		if tr := k.Plat.Obs; tr.On() {
 			k.callsShedCounter().Inc()
+			// The shed verdict carries the request's span so the
+			// critical-path engine can attribute the fast-fail.
 			tr.Emit(obs.Event{At: now, PE: int32(k.PE.Node), Layer: obs.LKernel,
-				Kind: obs.EvShed, Arg0: uint64(svc.Owner.PE.Node),
+				Kind: obs.EvShed, Span: span, Arg0: uint64(svc.Owner.PE.Node),
 				Arg1: uint64(depth), Arg2: uint64(pr)})
 		}
 		if k.Plat.Eng.Tracing() {

@@ -74,7 +74,7 @@ func (k *Kernel) sysCreateSrv(p *sim.Process, vpe *VPE, is *kif.IStream, msg *dt
 // failures, admission refusals by the service DTU do not (the service
 // answered promptly — that is control, not collapse).
 func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, span obs.SpanID, pr overload.Priority) (*dtu.Message, kif.Error) {
-	if aerr := k.admitServiceCall(svc, pr); aerr != kif.OK {
+	if aerr := k.admitServiceCall(svc, span, pr); aerr != kif.OK {
 		return nil, aerr
 	}
 	deadline := k.servDeadline
@@ -110,7 +110,20 @@ func (k *Kernel) callService(p *sim.Process, svc *ServiceObj, payload []byte, sp
 			break
 		}
 		if errors.Is(err, dtu.ErrNoCredits) {
+			// Bracket the credit wait for critical-path attribution.
+			if tr := k.Plat.Obs; tr.On() {
+				tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LDTU,
+					Kind: obs.EvCreditStall, Span: span, Arg0: uint64(svc.sendEP)})
+			}
 			werr := k.PE.DTU.WaitCreditsDeadline(p, svc.sendEP, deadline)
+			if tr := k.Plat.Obs; tr.On() {
+				expired := uint64(0)
+				if werr != nil {
+					expired = 1
+				}
+				tr.Emit(obs.Event{At: k.Plat.Eng.Now(), PE: int32(k.PE.Node), Layer: obs.LDTU,
+					Kind: obs.EvCreditOK, Span: span, Arg0: uint64(svc.sendEP), Arg2: expired})
+			}
 			if werr == nil {
 				continue
 			}

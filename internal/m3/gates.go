@@ -236,7 +236,22 @@ func (sg *SendGate) sendDeadline(data []byte, replyEP int, label uint64, deadlin
 			return nil
 		}
 		if errors.Is(err, dtu.ErrNoCredits) {
+			// Bracket the credit wait so the critical-path engine can
+			// attribute it to queueing rather than app compute.
+			tr := e.Ctx.PE.Obs()
+			if tr.On() {
+				tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LDTU,
+					Kind: obs.EvCreditStall, Span: span, Arg0: uint64(ep)})
+			}
 			werr := e.DTU().WaitCreditsDeadline(e.P(), ep, deadline)
+			if tr.On() {
+				expired := uint64(0)
+				if werr != nil {
+					expired = 1
+				}
+				tr.Emit(obs.Event{At: e.Ctx.Now(), PE: int32(e.Ctx.PE.Node), Layer: obs.LDTU,
+					Kind: obs.EvCreditOK, Span: span, Arg0: uint64(ep), Arg2: expired})
+			}
 			if werr == nil {
 				continue
 			}

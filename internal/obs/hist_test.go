@@ -154,3 +154,66 @@ func TestHistogramMergeEmptyAndNil(t *testing.T) {
 		t.Fatalf("merge into empty: count=%d max=%d p100=%d", dst.Count(), dst.Max(), dst.Quantile(1))
 	}
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Histogram
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// Single sample: every quantile lands in its bucket.
+	var one Histogram
+	one.Observe(100) // bucket 7: [64, 128)
+	for _, q := range []float64{0.001, 0.5, 0.999, 1} {
+		if got := one.Quantile(q); got != 127 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 127", q, got)
+		}
+	}
+
+	// Zero-only: bucket 0 is exactly {0}.
+	var zeros Histogram
+	zeros.Observe(0)
+	zeros.Observe(0)
+	if got := zeros.Quantile(0.999); got != 0 {
+		t.Fatalf("zeros Quantile(0.999) = %d, want 0", got)
+	}
+
+	// Overflow bucket: values with the top bit set land in bucket 64,
+	// whose upper bound saturates at ^uint64(0).
+	var ovf Histogram
+	ovf.Observe(1 << 63)
+	if got := ovf.Quantile(0.999); got != ^uint64(0) {
+		t.Fatalf("overflow Quantile(0.999) = %d, want max uint64", got)
+	}
+
+	// Sparse two-bucket histogram at the exact q=0.999 rank boundary:
+	// 999 small values and 1 huge one. rank = ceil(0.999*1000) = 999,
+	// still inside the small bucket; one more small value pushes the
+	// q=0.999 rank past it only when the tail sample is included.
+	var sparse Histogram
+	for i := 0; i < 999; i++ {
+		sparse.Observe(3) // bucket 2: [2, 4)
+	}
+	sparse.Observe(1 << 40) // bucket 41
+	if got := sparse.Quantile(0.999); got != 3 {
+		t.Fatalf("sparse Quantile(0.999) = %d, want 3 (rank 999 of 1000)", got)
+	}
+	if got := sparse.Quantile(1); got != 1<<41-1 {
+		t.Fatalf("sparse Quantile(1) = %d, want %d", got, uint64(1<<41-1))
+	}
+
+	// Exact boundary the other way: 1000 samples where rank 999 IS the
+	// tail bucket (998 small + 2 large → ceil(0.999*1000)=999 > 998).
+	var edge Histogram
+	for i := 0; i < 998; i++ {
+		edge.Observe(3)
+	}
+	edge.Observe(1 << 40)
+	edge.Observe(1 << 40)
+	if got := edge.Quantile(0.999); got != 1<<41-1 {
+		t.Fatalf("edge Quantile(0.999) = %d, want tail bucket upper", got)
+	}
+}

@@ -54,7 +54,10 @@ func (k metricKind) String() string {
 // Counter is a monotonically increasing counter. The zero value of a
 // nil pointer is a valid, permanently inert counter so call sites can
 // cache the pointer unconditionally.
-type Counter struct{ v uint64 }
+type Counter struct {
+	//m3vet:resolve sharedstate owner counter value is bumped by the owning simulation context only
+	v uint64
+}
 
 // Inc adds one.
 func (c *Counter) Inc() {
@@ -107,7 +110,9 @@ func (g *Gauge) Value() int64 {
 // sampler tick appends source(). The ring is unbounded in simulation
 // terms but bounded in practice by run length / interval.
 type Series struct {
-	source  func() int64
+	//m3vet:resolve sharedstate owner sample source is set once at registration
+	source func() int64
+	//m3vet:resolve sharedstate owner samples are appended by the engine-scheduled sampler tick only
 	samples []int64
 }
 
@@ -142,6 +147,7 @@ type Entry struct {
 	Idx  int
 	Kind metricKind
 
+	//m3vet:resolve sharedstate owner instrument pointers are set once at registration
 	c *Counter
 	g *Gauge
 	s *Series
@@ -173,6 +179,7 @@ func (e *Entry) Samples() []int64 {
 // Like the Tracer it is engine-local simulation state: no locking, and
 // a nil *Registry is valid and permanently inert.
 type Registry struct {
+	//m3vet:resolve sharedstate owner entry list and index are appended at registration time only
 	entries []*Entry
 	index   map[metricKey]*Entry
 

@@ -146,6 +146,14 @@ const (
 	// Arg0 = service PE, Arg1 = total opens.
 	EvBreaker
 
+	// EvCreditStall/EvCreditOK bracket one credit-exhaustion wait at a
+	// send site: the sender found the endpoint out of credits and
+	// blocked until a reply returned one (or the deadline expired).
+	// Arg0 = endpoint. On EvCreditOK, Arg2 = 1 if the wait ended by
+	// deadline instead of a credit.
+	EvCreditStall
+	EvCreditOK
+
 	numKinds
 )
 
@@ -161,6 +169,7 @@ var kindNames = [numKinds]string{
 	"poisoned", "retransmit", "xmit-abort", "op-timeout",
 	"config", "reply-drop", "crash",
 	"deadline-drop", "admit-refuse", "shed", "breaker",
+	"credit-stall", "credit-ok",
 }
 
 func (k Kind) String() string {
@@ -228,21 +237,25 @@ const DefaultFlightRecorder = 64
 // A nil *Tracer is valid everywhere and permanently off, so components
 // hold a plain field and call On() without nil checks.
 type Tracer struct {
-	enabled  bool
+	enabled bool
+	//m3vet:resolve sharedstate owner span ids are allocated by the emitting simulation context only
 	nextSpan SpanID
 	sink     func(Event)
 
 	flightCap int
-	rings     []*flightRing // index = PE node id
+	//m3vet:resolve sharedstate owner per-PE rings are created lazily and written by the emitting context only
+	rings []*flightRing // index = PE node id
 
+	//m3vet:resolve sharedstate owner hardware histograms are observed by the emitting context only
 	hists   [NumHists]Histogram
 	metrics *Registry
+	slos    *SLOSet
 }
 
 // New creates an enabled tracer.
 func New(opt Options) *Tracer {
 	t := &Tracer{enabled: true, sink: opt.Sink, flightCap: opt.FlightRecorder,
-		metrics: NewRegistry()}
+		metrics: NewRegistry(), slos: NewSLOSet()}
 	for i := range t.hists {
 		t.hists[i].Name = HistID(i).String()
 	}
@@ -288,6 +301,15 @@ func (t *Tracer) Metrics() *Registry {
 		return nil
 	}
 	return t.metrics
+}
+
+// SLOs returns the tracer's service-level-objective set (nil for a nil
+// tracer; the nil set is valid and inert, like the nil registry).
+func (t *Tracer) SLOs() *SLOSet {
+	if t == nil {
+		return nil
+	}
+	return t.slos
 }
 
 // Histograms returns all histograms in fixed id order.

@@ -36,8 +36,10 @@ type profFrame struct {
 	kind   Kind
 	span   SpanID
 	start  sim.Time
-	child  uint64 // cycles attributed to nested frames and flights
-	path   string // full folded path, "pe<N>;layer/kind;..."
+	//m3vet:resolve sharedstate owner child cycles accumulate while the frame's PE consumes its own events
+	child uint64 // cycles attributed to nested frames and flights
+	path  string // full folded path, "pe<N>;layer/kind;..."
+	//m3vet:resolve sharedstate owner close flag is set by the consuming context only
 	closed bool
 }
 
@@ -50,9 +52,12 @@ type profFlight struct {
 
 // Profiler aggregates self-cycles per folded call path.
 type Profiler struct {
-	stacks  map[int32][]*profFrame
+	//m3vet:resolve sharedstate owner per-PE stacks are mutated by the consuming context only
+	stacks map[int32][]*profFrame
+	//m3vet:resolve sharedstate owner flight lists are mutated by the consuming context only
 	flights map[SpanID][]profFlight
-	cycles  map[string]uint64
+	//m3vet:resolve sharedstate owner cycle totals accumulate in the consuming context only
+	cycles map[string]uint64
 }
 
 // NewProfiler returns an empty profiler.

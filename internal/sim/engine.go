@@ -20,7 +20,10 @@
 // differential harness in internal/bench.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is a simulated time stamp, measured in cycles.
 type Time uint64
@@ -102,7 +105,11 @@ type Engine struct {
 	//m3vet:resolve sharedstate owner process accounting happens in Spawn and process exit, engine-side
 	daemonProcs int
 	executed    uint64
-	deadlocked  bool
+	// flushed tracks how much of executed has been folded into the
+	// process-wide TotalExecutedEvents aggregate (host-side wall-speed
+	// accounting, not simulation state).
+	flushed    uint64
+	deadlocked bool
 
 	tracer func(at Time, source, event string)
 
@@ -239,10 +246,32 @@ func (e *Engine) Run() Time {
 		e.step()
 	}
 	e.stopPool()
+	e.flushExecuted()
 	if e.liveProcs > e.daemonProcs {
 		e.deadlocked = true
 	}
 	return e.now
+}
+
+// totalExecuted aggregates executed-event counts across every engine
+// in the process. It exists purely for host-side wall-speed reporting
+// (events_per_sec_wall in the bench witness trajectory) and never
+// feeds back into simulation state.
+var totalExecuted atomic.Uint64
+
+// TotalExecutedEvents returns the process-wide number of executed
+// events across all engines whose Run/RunUntil calls have completed.
+// Harnesses diff it around a run to report simulator wall-speed.
+func TotalExecutedEvents() uint64 { return totalExecuted.Load() }
+
+// flushExecuted folds this engine's executed-event delta into the
+// process-wide aggregate. Called once per Run/RunUntil completion, so
+// the per-event hot path pays nothing.
+func (e *Engine) flushExecuted() {
+	if d := e.executed - e.flushed; d > 0 {
+		e.flushed = e.executed
+		totalExecuted.Add(d)
+	}
 }
 
 // Deadlocked reports whether a completed Run left non-daemon
@@ -262,6 +291,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 		e.step()
 	}
 	e.stopPool()
+	e.flushExecuted()
 	if e.now < limit {
 		e.now = limit
 	}
