@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the tier-1 gate (see ci.sh).
 
-.PHONY: ci build test vet vet-fast vet-baseline bench bench-smoke slo-smoke slo-baseline chaos fuzz
+.PHONY: ci build test vet vet-fast vet-baseline bench bench-smoke bench-baseline diff-smoke slo-smoke slo-baseline chaos fuzz
 
 ci:
 	./ci.sh
@@ -30,20 +30,33 @@ vet-baseline:
 bench:
 	go test -bench=. -benchmem
 
-# The bench regression gate: rerun the fast experiment subset, keep the
-# JSON artifact for inspection, and fail if any gated metric regressed
-# past its tolerance against the committed baseline (BENCH_3.json,
-# refresh with `make bench-baseline` when a change legitimately moves
-# the numbers — see docs/EXPERIMENTS.md). BENCH_0.json through
-# BENCH_2.json are previous generations' baselines, kept for
+# The bench regression gate: rerun the fast experiment subset with run
+# captures bundled, keep the JSON artifact for inspection, and fail if
+# any gated metric regressed past its tolerance against the committed
+# baseline (BENCH_4.json, refresh with `make bench-baseline` when a
+# change legitimately moves the numbers — see docs/EXPERIMENTS.md).
+# When the gate is red, the diff attributes every regression via the
+# two files' captures (layer/path cycle deltas, histogram shift, blame
+# drift — docs/OBSERVABILITY.md) and the machine-readable attribution
+# is retained as artifacts/diff-report.json. BENCH_0.json through
+# BENCH_3.json are previous generations' baselines, kept for
 # historical comparison.
 bench-smoke:
 	mkdir -p artifacts
-	go run ./cmd/m3bench -e smoke -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
-	go run ./cmd/m3bench -diff BENCH_3.json artifacts/bench-smoke.json
+	go run ./cmd/m3bench -e smoke -capture -json artifacts/bench-smoke.json >artifacts/bench-smoke.log
+	go run ./cmd/m3bench -diff -report artifacts/diff-report.json BENCH_4.json artifacts/bench-smoke.json
 
 bench-baseline:
-	go run ./cmd/m3bench -e smoke -json BENCH_3.json
+	go run ./cmd/m3bench -e smoke -capture -json BENCH_4.json
+
+# The attribution self-test: capture the tier-1 workload under the
+# serial-heap, serial-calendar, and parallel-4 engines (captures must
+# be byte-identical), re-capture with the kernel's syscall dispatch
+# cost perturbed +10%, and require m3diff to attribute the regression
+# to the kernel — top blame-drift category and a growing kernel
+# profile layer — with byte-stable reports.
+diff-smoke:
+	go run ./cmd/m3diff -selftest
 
 # The SLO regression gate: run the critical-path attribution + SLO
 # report (cmd/m3slo) over the tier-1 workload and require the JSON

@@ -21,9 +21,16 @@
 #              docs/RECOVERY.md, docs/OVERLOAD.md)
 #   fuzz       a short smoke over the fault-plan and journal decoders
 #   bench      the bench regression gate: the smoke experiment subset
-#              diffed against the committed BENCH_3.json baseline; the
-#              JSON artifact is kept under artifacts/ for inspection
-#              (docs/EXPERIMENTS.md)
+#              (with run captures bundled) diffed against the committed
+#              BENCH_4.json baseline; the JSON artifact and the
+#              machine-readable regression attribution are kept under
+#              artifacts/ — bench-smoke.json and diff-report.json —
+#              for inspection (docs/EXPERIMENTS.md)
+#   diff       the attribution self-test: a seeded +10% kernel
+#              dispatch-cost perturbation must be attributed to the
+#              kernel layer by m3diff, with captures byte-identical
+#              across serial and parallel engines
+#              (docs/OBSERVABILITY.md)
 #   slo        the SLO regression gate: the m3slo attribution report
 #              over the tier-1 workload, byte-compared against the
 #              committed SLO_0.json golden (docs/OBSERVABILITY.md)
@@ -36,4 +43,5 @@ go test -race -shuffle=on ./...
 make chaos
 make fuzz
 make bench-smoke
+make diff-smoke
 make slo-smoke

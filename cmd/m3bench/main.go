@@ -59,7 +59,9 @@ func main() {
 	exps := flag.String("e", "all", expHelp())
 	csv := flag.String("csv", "", "directory to additionally write CSV tables into")
 	jsonOut := flag.String("json", "", "file to write the schema-versioned bench JSON into")
+	capture := flag.Bool("capture", false, "bundle run captures (profile, metrics, histograms, blame) per experiment workload into the bench JSON, for -diff attribution")
 	diff := flag.Bool("diff", false, "compare two bench JSON files: m3bench -diff old.json new.json; exits 1 on regression")
+	report := flag.String("report", "", "with -diff: write the machine-readable attribution report (diff-report JSON) to this file")
 	flag.Parse()
 	csvDir = *csv
 
@@ -68,7 +70,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "m3bench: -diff needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *report); err != nil {
 			fmt.Fprintf(os.Stderr, "m3bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -125,6 +127,25 @@ func main() {
 		fmt.Printf("  [%s took %.1fs wall clock]\n\n", e.name, wall.Seconds())
 	}
 
+	if *capture {
+		var names []string
+		for _, e := range experiments {
+			if want[e.name] {
+				names = append(names, e.name)
+			}
+		}
+		caps, err := bench.CaptureAll(names, bench.CaptureRunOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m3bench: capture failed: %v\n", err)
+			os.Exit(1)
+		}
+		out.Captures = caps
+		for _, c := range caps {
+			fmt.Printf("captured workload %s (%d profile paths, %d metrics, %d histograms)\n",
+				c.Workload, len(c.Profile), len(c.Metrics), len(c.Hists))
+		}
+	}
+
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -153,8 +174,10 @@ func knownExperiment(name string) bool {
 	return false
 }
 
-// runDiff loads both files and gates on the comparison.
-func runDiff(oldPath, newPath string) error {
+// runDiff loads both files, gates on the comparison, and — when the
+// gate is red — attributes every regression via the files' run
+// captures (docs/OBSERVABILITY.md, "reading a red gate").
+func runDiff(oldPath, newPath, reportPath string) error {
 	load := func(path string) (*bench.BenchFile, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -174,8 +197,32 @@ func runDiff(oldPath, newPath string) error {
 	if err := d.Write(os.Stdout); err != nil {
 		return err
 	}
+	rep, err := bench.Attribute(d, oldFile, newFile)
+	if err != nil {
+		return err
+	}
 	if d.Failed() {
-		return fmt.Errorf("%d metric(s) regressed past tolerance", len(d.Regressions))
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			_ = f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", reportPath, err)
+		}
+		fmt.Printf("wrote %s\n", reportPath)
+	}
+	if d.Failed() {
+		return fmt.Errorf("regressed past tolerance: %s", d.Headline(8))
 	}
 	return nil
 }

@@ -113,6 +113,8 @@ func cmdShow(args []string) {
 	fs := flag.NewFlagSet("show", flag.ExitOnError)
 	in := fs.String("i", "", "trace file")
 	limit := fs.Int("n", 30, "records to print (0 = all)")
+	since := fs.Uint64("since", 0, "skip records before this cumulative compute-cycle offset")
+	until := fs.Uint64("until", 0, "skip records at/after this cumulative compute-cycle offset (0 = end)")
 	_ = fs.Parse(args)
 	if *in == "" {
 		log.Fatal("m3trace: -i required")
@@ -125,7 +127,28 @@ func cmdShow(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d records\n", tr.Len())
+	// Trace records carry no timestamps; the cumulative compute-cycle
+	// offset before each record is the deterministic window proxy a
+	// diff-flagged cycle range maps onto. I/O records ride at the
+	// offset their predecessors accumulated.
+	if *since > 0 || *until > 0 {
+		var at uint64
+		kept := make([]trace.Record, 0, len(tr.Records))
+		for _, r := range tr.Records {
+			inWindow := at >= *since && (*until == 0 || at < *until)
+			if r.Kind == trace.KCompute {
+				at += r.Cycles
+			}
+			if inWindow {
+				kept = append(kept, r)
+			}
+		}
+		fmt.Printf("%d of %d records in compute-cycle window [%d, %s)\n",
+			len(kept), tr.Len(), *since, untilLabel(*until))
+		tr = &trace.Trace{Records: kept}
+	} else {
+		fmt.Printf("%d records\n", tr.Len())
+	}
 	for i, r := range tr.Records {
 		if *limit > 0 && i >= *limit {
 			fmt.Printf("... %d more\n", tr.Len()-i)
@@ -147,6 +170,14 @@ func cmdShow(args []string) {
 		}
 	}
 	showSummary(tr)
+}
+
+// untilLabel renders the window's right edge ("end" for 0).
+func untilLabel(until uint64) string {
+	if until == 0 {
+		return "end"
+	}
+	return fmt.Sprintf("%d", until)
 }
 
 // showSummary prints the per-kind footer: record counts in kind-name
@@ -185,13 +216,18 @@ func showSummary(tr *trace.Trace) {
 // writes the event stream as Chrome-trace/Perfetto JSON (open in
 // chrome://tracing or ui.perfetto.dev). With -span it exports a single
 // request's span tree — the flag pairs with the exemplar SpanIDs that
-// `m3slo` prints, so the exact p99 request can be drilled into. -text
-// prints the (filtered) events as human-readable lines instead.
+// `m3slo` prints, so the exact p99 request can be drilled into.
+// -since/-until keep only events within a simulated-cycle window — the
+// flags pair with the cycle figures a capture diff (`m3diff`) flags,
+// so a regressed window can be drilled into directly. -text prints the
+// (filtered) events as human-readable lines instead.
 func cmdExport(args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	wl := fs.String("w", "tar", "workload to export")
 	out := fs.String("o", "", "output JSON file (default <workload>.json)")
 	span := fs.Uint64("span", 0, "export only this request's span tree (0 = all)")
+	since := fs.Uint64("since", 0, "keep only events at/after this simulated cycle")
+	until := fs.Uint64("until", 0, "keep only events before this simulated cycle (0 = end)")
 	text := fs.Bool("text", false, "print events as text lines instead of writing Perfetto JSON")
 	_ = fs.Parse(args)
 	b, err := workload.ByName(*wl)
@@ -211,6 +247,19 @@ func cmdExport(args []string) {
 		events = kept
 		if len(events) == 0 {
 			log.Fatalf("m3trace: no events carry span %d", *span)
+		}
+	}
+	if *since > 0 || *until > 0 {
+		kept := events[:0]
+		for _, ev := range events {
+			at := uint64(ev.At)
+			if at >= *since && (*until == 0 || at < *until) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+		if len(events) == 0 {
+			log.Fatalf("m3trace: no events in cycle window [%d, %s)", *since, untilLabel(*until))
 		}
 	}
 	if *text {

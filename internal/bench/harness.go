@@ -74,6 +74,11 @@ type M3Options struct {
 	// runs; the zero value is the production default. The differential
 	// harness (differential.go) sweeps this field.
 	Engine sim.Config
+	// DispatchCostDelta perturbs the kernel's per-syscall dispatch cost
+	// (core.CostDispatch) by the given number of cycles — the seeded
+	// regression of the m3diff self-test. Zero (the default) leaves the
+	// cost table untouched and the run bit-identical.
+	DispatchCostDelta sim.Time
 	// Overload, when set, arms the end-to-end overload-control stack
 	// (docs/OVERLOAD.md): deadline stamping on every PE DTU, admission
 	// control on the m3fs PE, and the kernel's shed controller and
@@ -138,6 +143,9 @@ func bootM3NoFS(opt M3Options, appPEs int) *m3System {
 	}
 	plat := tile.NewPlatform(eng, cfg)
 	kern := core.Boot(plat, 0)
+	if opt.DispatchCostDelta != 0 {
+		kern.PerturbSyscallCost(opt.DispatchCostDelta)
+	}
 	if ov := opt.Overload; ov != nil {
 		// Arm every PE DTU so deadlines ride in all message headers; the
 		// m3fs PE (index 1 by construction) additionally enforces the

@@ -64,6 +64,12 @@ type BenchExperiment struct {
 type BenchFile struct {
 	Schema      int               `json:"schema"`
 	Experiments []BenchExperiment `json:"experiments"`
+	// Captures are the optional run captures (`m3bench -capture`), one
+	// per distinct experiment workload in workload-name order. They are
+	// input to regression attribution (diffreport.go, cmd/m3diff) and
+	// carry their own schema version; files without captures diff and
+	// parse exactly as before.
+	Captures []*obs.RunCapture `json:"captures,omitempty"`
 }
 
 // WriteJSON renders the file as indented JSON with a trailing newline.
@@ -211,11 +217,40 @@ func RunWitness() (BenchExperiment, error) {
 	return exp, nil
 }
 
+// Regression is one gating failure of a bench diff: a metric past its
+// tolerance, or a metric that vanished from the new run.
+type Regression struct {
+	Exp    string  `json:"exp"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old,omitempty"`
+	New    float64 `json:"new,omitempty"`
+	// Tol is the tolerance the metric was gated under (fraction).
+	Tol float64 `json:"tol,omitempty"`
+	// Missing marks a metric absent from the new file (a silently
+	// vanished experiment must not pass CI).
+	Missing bool `json:"missing,omitempty"`
+}
+
+// Key is the metric's index key ("exp:metric").
+func (r Regression) Key() string { return r.Exp + ":" + r.Metric }
+
+// Delta renders the regression's movement ("123 -> 140 (+13.8%)", or
+// "missing from new run").
+func (r Regression) Delta() string {
+	if r.Missing {
+		return "missing from new run"
+	}
+	return fmt.Sprintf("%g -> %g (%+.1f%%, tol %.0f%%)",
+		r.Old, r.New, 100*(r.New/r.Old-1), 100*r.Tol)
+}
+
+func (r Regression) String() string { return r.Key() + ": " + r.Delta() }
+
 // BenchDiff is the outcome of comparing two bench files.
 type BenchDiff struct {
 	// Regressions are the failures: metrics past tolerance, metrics
 	// that disappeared, schema trouble.
-	Regressions []string
+	Regressions []Regression
 	// Notes are non-failing observations: improvements, new metrics,
 	// info-metric changes.
 	Notes []string
@@ -223,6 +258,21 @@ type BenchDiff struct {
 
 // Failed reports whether the diff should gate CI.
 func (d *BenchDiff) Failed() bool { return len(d.Regressions) > 0 }
+
+// Headline names the regressed metrics and their deltas in one line,
+// capped at max entries (0 = all) — the actionable part of the gate's
+// error text.
+func (d *BenchDiff) Headline(max int) string {
+	var parts []string
+	for i, r := range d.Regressions {
+		if max > 0 && i == max {
+			parts = append(parts, fmt.Sprintf("and %d more", len(d.Regressions)-max))
+			break
+		}
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, "; ")
+}
 
 // Write renders the diff report.
 func (d *BenchDiff) Write(w io.Writer) error {
@@ -280,7 +330,8 @@ func DiffBench(old, new *BenchFile) *BenchDiff {
 		o := oldIdx[k]
 		n, ok := newIdx[k]
 		if !ok {
-			d.Regressions = append(d.Regressions, fmt.Sprintf("%s: missing from new run", k))
+			d.Regressions = append(d.Regressions, Regression{
+				Exp: o.exp, Metric: o.m.Name, Old: o.m.Value, Missing: true})
 			continue
 		}
 		if o.m.Unit == "info" || n.m.Unit == "info" {
@@ -300,8 +351,8 @@ func DiffBench(old, new *BenchFile) *BenchDiff {
 				d.Notes = append(d.Notes, fmt.Sprintf("%s: 0 -> %g (zero baseline, not gated)", k, n.m.Value))
 			}
 		case n.m.Value > o.m.Value*(1+tol):
-			d.Regressions = append(d.Regressions, fmt.Sprintf("%s: %g -> %g (%+.1f%%, tol %.0f%%)",
-				k, o.m.Value, n.m.Value, 100*(n.m.Value/o.m.Value-1), 100*tol))
+			d.Regressions = append(d.Regressions, Regression{
+				Exp: o.exp, Metric: o.m.Name, Old: o.m.Value, New: n.m.Value, Tol: tol})
 		case n.m.Value < o.m.Value*(1-tol):
 			d.Notes = append(d.Notes, fmt.Sprintf("%s: %g -> %g (%+.1f%%, improvement)",
 				k, o.m.Value, n.m.Value, 100*(n.m.Value/o.m.Value-1)))

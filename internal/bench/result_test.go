@@ -176,8 +176,16 @@ func TestDiffSelfTest(t *testing.T) {
 	if !d.Failed() {
 		t.Fatal("10% cycle regression passed the 5% gate")
 	}
-	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0], "total_cycles") {
+	if len(d.Regressions) != 1 || !strings.Contains(d.Regressions[0].String(), "total_cycles") {
 		t.Fatalf("unexpected regressions: %v", d.Regressions)
+	}
+	r := d.Regressions[0]
+	if r.Exp != "fig5" || r.Old != 1000 || r.New != 1100 || r.Missing {
+		t.Fatalf("regression fields: %+v", r)
+	}
+	// Headline names the metric and delta — the actionable error text.
+	if h := d.Headline(0); !strings.Contains(h, "total_cycles") || !strings.Contains(h, "+10.0%") {
+		t.Fatalf("headline = %q", h)
 	}
 }
 

@@ -62,11 +62,16 @@ type JRecord struct {
 	Kind     uint64
 	Key, Seq uint64 // idempotency token (Seq 0 = none)
 
-	Path, Path2 string // mkdir/create/unlink (Path), link/rename (both)
-	Ino         uint64 // trunc/append target inode number
-	Size        int64  // trunc
-	Blocks      int    // append block count
-	NoMerge     bool   // append extent-merge suppression
+	// Payload fields (Path/Path2 for mkdir/create/unlink/link/rename,
+	// Ino + Size/Blocks/NoMerge for trunc/append). Records are decoded
+	// into fresh values by the m3fs service process (or offline m3fsck
+	// tooling) and never escape to another goroutine.
+	//m3vet:resolve sharedstate owner decoded into fresh values on the m3fs service process; never shared
+	Path, Path2 string
+	Ino         uint64 //m3vet:resolve sharedstate owner decoded into fresh values on the m3fs service process; never shared
+	Size        int64
+	Blocks      int //m3vet:resolve sharedstate owner decoded into fresh values on the m3fs service process; never shared
+	NoMerge     bool
 }
 
 // KindName returns the mnemonic of a record's kind, for human-facing
@@ -98,9 +103,9 @@ type token struct{ key, seq uint64 }
 // retransmitted request (reply lost, or lost across a restart) can be
 // answered with the original result instead of being applied twice.
 type appliedEntry struct {
-	ext            Extent
+	ext            Extent //m3vet:resolve sharedstate owner written once by the m3fs service process when the mutation is applied
 	extOff, extLen int64
-	hasExt         bool
+	hasExt         bool //m3vet:resolve sharedstate owner written once by the m3fs service process when the mutation is applied
 }
 
 // encodeRecord renders one record in its on-DRAM framing.

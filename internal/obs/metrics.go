@@ -149,7 +149,7 @@ type Entry struct {
 
 	//m3vet:resolve sharedstate owner instrument pointers are set once at registration
 	c *Counter
-	g *Gauge
+	g *Gauge //m3vet:resolve sharedstate owner instrument pointers are set once at registration
 	s *Series
 }
 
@@ -181,7 +181,7 @@ func (e *Entry) Samples() []int64 {
 type Registry struct {
 	//m3vet:resolve sharedstate owner entry list and index are appended at registration time only
 	entries []*Entry
-	index   map[metricKey]*Entry
+	index   map[metricKey]*Entry //m3vet:resolve sharedstate owner entry list and index are appended at registration time only
 
 	interval sim.Time
 	sampling bool
